@@ -1,0 +1,81 @@
+package dreamsim
+
+import (
+	"dreamsim/internal/core"
+	"dreamsim/internal/gridsim"
+	"dreamsim/internal/workload"
+)
+
+// BaselineParams configures a GridSim/CRGridSim-style fixed-capacity
+// baseline (the related-work simulators of the paper's §II): GridSim
+// models GPPs with fixed computing capacity; CRGridSim adds
+// reconfigurable elements modelled only by a speedup factor and a
+// flat reconfiguration delay — no fabric area, no configuration
+// residency, no partial reconfiguration.
+type BaselineParams struct {
+	// Resources is the processing-element count.
+	Resources int
+	// SpeedRange bounds the GPP capacities relative to the reference
+	// processor (task t_required is work on the reference).
+	SpeedRange [2]float64
+	// ReconfigurableShare is the fraction of CRGridSim-style
+	// reconfigurable elements (0 = pure GridSim).
+	ReconfigurableShare float64
+	// Speedup is their speedup factor over the GPP capacity.
+	Speedup float64
+	// ReconfigDelay is their flat function-switch cost in ticks.
+	ReconfigDelay int64
+}
+
+// BaselineResult carries the baseline's outcome.
+type BaselineResult struct {
+	Tasks             int64
+	Makespan          int64
+	AvgWaitPerTask    float64
+	AvgTurnaround     float64
+	TotalSwitches     int64
+	AvgUtilization    float64
+	ReconfigResources int
+}
+
+// RunBaseline schedules the exact task stream that Run(p) would see
+// (same seed, same generator) onto a fixed-capacity baseline pool —
+// earliest-finish-time FCFS, no area model. Contrasting its output
+// with Run/Compare shows what the capacity-only related-work models
+// cannot capture.
+func RunBaseline(bp BaselineParams, p Params) (BaselineResult, error) {
+	cp, err := p.coreParams()
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	s, err := core.New(cp)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	tasks := workload.Drain(s.Source())
+	src, err := workload.SliceSource(tasks)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	gres, err := gridsim.Run(gridsim.Params{
+		Resources:           bp.Resources,
+		SpeedLow:            bp.SpeedRange[0],
+		SpeedHigh:           bp.SpeedRange[1],
+		ReconfigurableShare: bp.ReconfigurableShare,
+		Speedup:             bp.Speedup,
+		ReconfigDelay:       bp.ReconfigDelay,
+		Seed:                p.Seed,
+	}, src)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	return BaselineResult{
+		Tasks:             gres.Tasks,
+		Makespan:          gres.Makespan,
+		AvgWaitPerTask:    gres.AvgWaitPerTask,
+		AvgTurnaround:     gres.AvgTurnaround,
+		TotalSwitches:     gres.TotalSwitches,
+		AvgUtilization:    gres.AvgUtilization,
+		ReconfigResources: gres.ReconfigResources,
+	}, nil
+}

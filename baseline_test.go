@@ -1,0 +1,84 @@
+package dreamsim_test
+
+import (
+	"testing"
+
+	"dreamsim"
+)
+
+func TestRunBaseline(t *testing.T) {
+	p := dreamsim.DefaultParams()
+	p.Nodes = 50
+	p.Tasks = 500
+	bp := dreamsim.BaselineParams{
+		Resources:  50,
+		SpeedRange: [2]float64{1, 1},
+	}
+	res, err := dreamsim.RunBaseline(bp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 500 || res.Makespan <= 0 {
+		t.Fatalf("baseline result: %+v", res)
+	}
+	if res.AvgUtilization <= 0 || res.AvgUtilization > 1 {
+		t.Fatalf("utilization: %v", res.AvgUtilization)
+	}
+	if res.ReconfigResources != 0 || res.TotalSwitches != 0 {
+		t.Fatalf("pure GridSim pool has reconfigurables: %+v", res)
+	}
+}
+
+func TestRunBaselineDeterministic(t *testing.T) {
+	p := dreamsim.DefaultParams()
+	p.Nodes = 30
+	p.Tasks = 300
+	bp := dreamsim.BaselineParams{Resources: 30, SpeedRange: [2]float64{0.5, 2}}
+	a, err := dreamsim.RunBaseline(bp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dreamsim.RunBaseline(bp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("baseline not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunBaselineSpeedupHelps(t *testing.T) {
+	p := dreamsim.DefaultParams()
+	p.Nodes = 50
+	p.Tasks = 800
+	gpp := dreamsim.BaselineParams{Resources: 50, SpeedRange: [2]float64{1, 1}}
+	slow, err := dreamsim.RunBaseline(gpp, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := gpp
+	cr.ReconfigurableShare = 1
+	cr.Speedup = 4
+	cr.ReconfigDelay = 15
+	fast, err := dreamsim.RunBaseline(cr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fast.Makespan < slow.Makespan) {
+		t.Fatalf("speedup ignored: %d vs %d", fast.Makespan, slow.Makespan)
+	}
+	if fast.TotalSwitches == 0 || fast.ReconfigResources != 50 {
+		t.Fatalf("CRGridSim pool wrong: %+v", fast)
+	}
+}
+
+func TestRunBaselineRejectsBadParams(t *testing.T) {
+	p := dreamsim.DefaultParams()
+	if _, err := dreamsim.RunBaseline(dreamsim.BaselineParams{}, p); err == nil {
+		t.Fatal("zero resources accepted")
+	}
+	p.Nodes = 0
+	if _, err := dreamsim.RunBaseline(dreamsim.BaselineParams{Resources: 5, SpeedRange: [2]float64{1, 1}}, p); err == nil {
+		t.Fatal("invalid sim params accepted")
+	}
+}

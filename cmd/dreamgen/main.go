@@ -1,0 +1,152 @@
+// Command dreamgen generates and inspects DReAMSim workload traces —
+// the "real workloads" input path of the paper's input subsystem.
+//
+// Examples:
+//
+//	dreamgen -tasks 5000 -out workload.trace
+//	dreamgen -inspect workload.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dreamsim"
+	"dreamsim/internal/workload"
+)
+
+func main() {
+	var (
+		tasks    = flag.Int("tasks", 1000, "number of tasks to generate")
+		nodes    = flag.Int("nodes", 200, "node count (affects nothing in the trace, echoed for reproducibility)")
+		configs  = flag.Int("configs", 50, "size of the configurations list")
+		interval = flag.Int64("interval", 50, "max inter-arrival gap")
+		poisson  = flag.Bool("poisson", false, "Poisson arrivals")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output trace path (default stdout)")
+		inspect  = flag.String("inspect", "", "inspect an existing trace instead of generating")
+		swfIn    = flag.String("swf", "", "convert a Standard Workload Format log into a dreamsim trace")
+		swfScale = flag.Int64("swf-ticks-per-sec", 1, "timeticks per SWF second")
+		swfMax   = flag.Int("swf-max-jobs", 0, "cap SWF conversion at this many jobs (0 = all)")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		inspectTrace(*inspect)
+		return
+	}
+	if *swfIn != "" {
+		convertSWF(*swfIn, *out, *swfScale, *swfMax, *configs)
+		return
+	}
+
+	p := dreamsim.DefaultParams()
+	p.Tasks = *tasks
+	p.Nodes = *nodes
+	p.Configs = *configs
+	p.NextTaskMaxInterval = *interval
+	p.PoissonArrivals = *poisson
+	p.Seed = *seed
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		fail(err)
+		defer f.Close()
+		w = f
+	}
+	fail(dreamsim.GenerateTrace(w, p))
+	if *out != "" {
+		fmt.Printf("wrote %d tasks to %s\n", *tasks, *out)
+	}
+}
+
+// convertSWF rewrites an SWF log as a dreamsim trace.
+func convertSWF(in, out string, ticksPerSec int64, maxJobs, configs int) {
+	f, err := os.Open(in)
+	fail(err)
+	defer f.Close()
+	tasks, _, err := workload.ParseSWF(f, workload.SWFMapping{
+		TicksPerSecond: ticksPerSec,
+		MaxJobs:        maxJobs,
+		Configs:        configs,
+	})
+	fail(err)
+	w := os.Stdout
+	if out != "" {
+		g, err := os.Create(out)
+		fail(err)
+		defer g.Close()
+		w = g
+	}
+	fail(workload.WriteTrace(w, tasks))
+	if out != "" {
+		fmt.Printf("converted %d SWF jobs to %s\n", len(tasks), out)
+	}
+}
+
+// inspectTrace prints summary statistics of a trace file.
+func inspectTrace(path string) {
+	f, err := os.Open(path)
+	fail(err)
+	defer f.Close()
+
+	tr := workload.NewTraceReader(f)
+	var (
+		n                int
+		firstT, lastT    int64
+		sumReq, minReq   int64
+		maxReq           int64
+		sumArea          int64
+		minArea, maxArea int64
+		prefs            = map[int]int{}
+	)
+	minReq, minArea = 1<<62, 1<<62
+	for {
+		task, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if n == 0 {
+			firstT = task.CreateTime
+		}
+		lastT = task.CreateTime
+		n++
+		sumReq += task.RequiredTime
+		if task.RequiredTime < minReq {
+			minReq = task.RequiredTime
+		}
+		if task.RequiredTime > maxReq {
+			maxReq = task.RequiredTime
+		}
+		sumArea += task.NeededArea
+		if task.NeededArea < minArea {
+			minArea = task.NeededArea
+		}
+		if task.NeededArea > maxArea {
+			maxArea = task.NeededArea
+		}
+		prefs[task.PrefConfig]++
+	}
+	fail(tr.Err())
+	if n == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	fmt.Printf("tasks:            %d\n", n)
+	fmt.Printf("arrival span:     ticks %d..%d (mean gap %.2f)\n",
+		firstT, lastT, float64(lastT-firstT)/float64(max(n-1, 1)))
+	fmt.Printf("t_required:       min %d  mean %.1f  max %d\n",
+		minReq, float64(sumReq)/float64(n), maxReq)
+	fmt.Printf("needed area:      min %d  mean %.1f  max %d\n",
+		minArea, float64(sumArea)/float64(n), maxArea)
+	fmt.Printf("distinct Cpref:   %d\n", len(prefs))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dreamgen:", err)
+		os.Exit(1)
+	}
+}

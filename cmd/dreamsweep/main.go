@@ -1,0 +1,124 @@
+// Command dreamsweep regenerates the figures of the paper's
+// evaluation section (Figs. 6a–10): for each figure it sweeps the
+// task count over the paper's grid, runs both reconfiguration
+// scenarios over identical inputs, and emits the curves as CSV, a
+// numeric table and an ASCII plot, together with a verdict on whether
+// the paper's curve ordering is reproduced.
+//
+// Examples:
+//
+//	dreamsweep -fig 6a
+//	dreamsweep -fig all -scale 10000 -out results/
+//	dreamsweep -print-params
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dreamsim"
+)
+
+func main() {
+	var (
+		figArg     = flag.String("fig", "all", "figure to regenerate: 6a,6b,7a,7b,8a,8b,9a,9b,10 or 'all'")
+		scale      = flag.Int("scale", 100000, "cap the task-count grid at this many tasks")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		outDir     = flag.String("out", "", "write <fig>.csv files into this directory")
+		noPlot     = flag.Bool("no-plot", false, "suppress ASCII plots")
+		jsonOut    = flag.String("json", "", "save the full sweep matrix as JSON ('all' mode only)")
+		printParms = flag.Bool("print-params", false, "print the Table II simulation parameters and exit")
+	)
+	flag.Parse()
+
+	if *printParms {
+		printTableII()
+		return
+	}
+
+	base := dreamsim.DefaultParams()
+	base.Seed = *seed
+	grid := dreamsim.ScaledTaskCounts(*scale)
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+
+	var figs []dreamsim.Figure
+	if *figArg == "all" {
+		// One matrix run covers every figure: 100- and 200-node cells
+		// are shared across the figures drawn from them.
+		m, err := dreamsim.RunMatrix(base, nil, grid, func(c dreamsim.Cell) {
+			fmt.Fprintf(os.Stderr, "cell done: %3d nodes %6d tasks\n", c.Nodes, c.Tasks)
+		})
+		fail(err)
+		figs, err = m.Figures()
+		fail(err)
+		if *jsonOut != "" {
+			f, ferr := os.Create(*jsonOut)
+			fail(ferr)
+			fail(dreamsim.SaveMatrix(f, m))
+			fail(f.Close())
+			fmt.Printf("matrix saved to %s\n\n", *jsonOut)
+		}
+	} else {
+		fig, err := dreamsim.RunFigure(dreamsim.FigureID(*figArg), grid, base)
+		fail(err)
+		figs = []dreamsim.Figure{fig}
+	}
+
+	allHold := true
+	for _, fig := range figs {
+		fmt.Println(fig.Table())
+		if !*noPlot {
+			fmt.Println(fig.Plot())
+		}
+		fmt.Println(fig.Summary())
+		fmt.Println()
+		if !fig.ShapeHolds() {
+			allHold = false
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, fmt.Sprintf("fig%s.csv", fig.ID))
+			fail(os.WriteFile(path, []byte(fig.CSV()), 0o644))
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if !allHold {
+		fmt.Fprintln(os.Stderr, "dreamsweep: some figure shapes were NOT reproduced")
+		os.Exit(2)
+	}
+}
+
+// printTableII prints the paper's Table II with our defaults.
+func printTableII() {
+	p := dreamsim.DefaultParams()
+	rows := [][2]string{
+		{"Total nodes", "100, 200 (per figure)"},
+		{"Total configurations", fmt.Sprint(p.Configs)},
+		{"Total tasks generated", "1000...100000"},
+		{"Next task generation interval", fmt.Sprintf("[1...%d]", p.NextTaskMaxInterval)},
+		{"Configurations ReqArea range", fmt.Sprintf("[%d...%d]", p.ConfigAreaRange[0], p.ConfigAreaRange[1])},
+		{"Node TotalArea range", fmt.Sprintf("[%d...%d]", p.NodeAreaRange[0], p.NodeAreaRange[1])},
+		{"Task t_required range", fmt.Sprintf("[%d...%d]", p.TaskTimeRange[0], p.TaskTimeRange[1])},
+		{"t_config range", fmt.Sprintf("[%d...%d]", p.ConfigTimeRange[0], p.ConfigTimeRange[1])},
+		{"CClosestMatch percentage", fmt.Sprintf("%.0f%%", 100*p.ClosestMatchPct)},
+		{"Reconfiguration method", "with/without partial reconfiguration"},
+	}
+	fmt.Printf("%-34s %s\n%s\n", "Simulation parameter", "Value",
+		"--------------------------------------------------------")
+	for _, r := range rows {
+		fmt.Printf("%-34s %s\n", r[0], r[1])
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dreamsweep:", err)
+		os.Exit(1)
+	}
+}

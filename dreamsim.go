@@ -1,0 +1,397 @@
+// Package dreamsim is a from-scratch Go implementation of DReAMSim —
+// the Dynamic Reconfigurable Autonomous Many-task Simulator of
+// Nadeem, Ashraf, Ostadzadeh, Wong and Bertels, "Task Scheduling in
+// Large-scale Distributed Systems Utilizing Partial Reconfigurable
+// Processing Elements" (IPDPSW 2012).
+//
+// The simulator models a large-scale distributed system whose
+// processing elements are reconfigurable (FPGA-like) nodes. Each node
+// has a total fabric area; processor configurations occupy area and
+// take time to load; application tasks prefer a configuration and run
+// for a required time. Under full reconfiguration a node hosts one
+// configuration and one task; under partial reconfiguration a node
+// hosts as many configurations as its area allows and runs one task
+// per resident configuration, rewriting idle regions at run time.
+//
+// Quick start:
+//
+//	p := dreamsim.DefaultParams()
+//	p.Tasks = 5000
+//	full, partial, err := dreamsim.Compare(p)
+//	// full/partial carry every Table I metric of the paper.
+//
+// The Figure* helpers regenerate every figure of the paper's
+// evaluation section; see EXPERIMENTS.md for the mapping.
+package dreamsim
+
+import (
+	"fmt"
+	"io"
+
+	"dreamsim/internal/core"
+	"dreamsim/internal/metrics"
+	"dreamsim/internal/monitor"
+	"dreamsim/internal/netmodel"
+	"dreamsim/internal/report"
+	"dreamsim/internal/sched"
+	"dreamsim/internal/workload"
+)
+
+// Params configures a simulation run. DefaultParams returns the
+// paper's Table II values; zero values elsewhere mean "feature off".
+type Params struct {
+	// Nodes is the node count (the paper evaluates 100 and 200).
+	Nodes int
+	// Configs is the size of the configurations list (paper: 50).
+	Configs int
+	// Tasks is the number of tasks to generate (paper: 1000–100000).
+	Tasks int
+	// NextTaskMaxInterval bounds the inter-arrival gap (paper: 50).
+	NextTaskMaxInterval int64
+	// PoissonArrivals switches the arrival process from the paper's
+	// uniform gaps to exponential gaps with the same mean.
+	PoissonArrivals bool
+	// TaskTimeRange bounds t_required (paper: [100, 100000]).
+	TaskTimeRange [2]int64
+	// ConfigAreaRange bounds configuration ReqArea (paper: [200, 2000]).
+	ConfigAreaRange [2]int64
+	// ConfigTimeRange bounds configuration load time (paper: [10, 20]).
+	ConfigTimeRange [2]int64
+	// NodeAreaRange bounds node TotalArea (paper: [1000, 4000]).
+	NodeAreaRange [2]int64
+	// ClosestMatchPct is the share of tasks whose preferred
+	// configuration is absent from the list (paper: 0.15).
+	ClosestMatchPct float64
+	// TaskTimeDistribution selects the t_required distribution:
+	// "uniform" (paper, default), "lognormal" or "pareto" —
+	// heavy-tailed fits common for recorded job runtimes.
+	TaskTimeDistribution string
+	// ConfigPopularity skews preferred-configuration draws: 0 =
+	// uniform (paper), s > 0 = Zipf(s) popularity over the list.
+	ConfigPopularity float64
+
+	// PartialReconfig selects the reconfiguration method.
+	PartialReconfig bool
+	// Seed drives all randomness; equal seeds give identical inputs
+	// across the two reconfiguration scenarios.
+	Seed uint64
+
+	// Placement selects the Allocation-phase criterion: "best-fit"
+	// (paper, default), "first-fit", "worst-fit" or "random-fit".
+	Placement string
+	// LoadBalance enables the least-loaded tie-break (the load
+	// balancing module).
+	LoadBalance bool
+	// DisableSuspension discards tasks instead of queueing them
+	// (ablation).
+	DisableSuspension bool
+	// MaxSusRetries, when positive, discards tasks re-examined more
+	// than this many times in the suspension queue.
+	MaxSusRetries int64
+	// DefragThreshold, when positive, blanks fully-idle partial nodes
+	// holding at least this many idle regions, returning their fabric
+	// to one contiguous pool (fragmentation-fighting ablation).
+	DefragThreshold int
+
+	// NetworkDelayRange bounds each node's communication delay
+	// (t_comm); both zero disables network delays.
+	NetworkDelayRange [2]int64
+	// BitstreamBandwidth, when positive, adds BSize/bandwidth ticks
+	// to every configuration load.
+	BitstreamBandwidth int64
+	// DataBandwidth, when positive, adds Data/bandwidth ticks to
+	// every task's communication delay.
+	DataBandwidth int64
+
+	// TickStep forces the paper-literal tick-by-tick clock.
+	TickStep bool
+
+	// CapKinds enables the heterogeneity extension: capability labels
+	// nodes may offer and configurations may require (the `caps` of
+	// the paper's node tuple, Eq. 1). Empty reproduces the paper's
+	// homogeneous population.
+	CapKinds []string
+	// NodeCapProb is the probability a node offers each capability.
+	NodeCapProb float64
+	// ConfigCapProb is the probability a configuration requires each
+	// capability.
+	ConfigCapProb float64
+
+	// SampleEvery, when positive, records a monitoring sample every
+	// N-th placement/completion; the series lands in
+	// Result.Timeline/TimelineText.
+	SampleEvery int
+}
+
+// DefaultParams returns the paper's Table II parameter values with
+// 200 nodes and 1000 tasks.
+func DefaultParams() Params {
+	return Params{
+		Nodes:               200,
+		Configs:             50,
+		Tasks:               1000,
+		NextTaskMaxInterval: 50,
+		TaskTimeRange:       [2]int64{100, 100000},
+		ConfigAreaRange:     [2]int64{200, 2000},
+		ConfigTimeRange:     [2]int64{10, 20},
+		NodeAreaRange:       [2]int64{1000, 4000},
+		ClosestMatchPct:     0.15,
+		PartialReconfig:     true,
+		Seed:                1,
+		Placement:           "best-fit",
+	}
+}
+
+// spec converts the public parameters to the internal workload spec.
+func (p Params) spec() workload.Spec {
+	arrival := workload.ArrivalUniform
+	if p.PoissonArrivals {
+		arrival = workload.ArrivalPoisson
+	}
+	dist := workload.DistUniform
+	switch p.TaskTimeDistribution {
+	case "lognormal":
+		dist = workload.DistLognormal
+	case "pareto":
+		dist = workload.DistPareto
+	case "", "uniform":
+	default:
+		dist = workload.DistKind(-1) // rejected by Spec.Validate
+	}
+	return workload.Spec{
+		Tasks:               p.Tasks,
+		NextTaskMaxInterval: p.NextTaskMaxInterval,
+		Arrival:             arrival,
+		TaskReqTimeLow:      p.TaskTimeRange[0],
+		TaskReqTimeHigh:     p.TaskTimeRange[1],
+		ClosestMatchPct:     p.ClosestMatchPct,
+		TaskTimeDist:        dist,
+		ConfigPopularity:    p.ConfigPopularity,
+		Configs:             p.Configs,
+		ConfigAreaLow:       p.ConfigAreaRange[0],
+		ConfigAreaHigh:      p.ConfigAreaRange[1],
+		ConfigTimeLow:       p.ConfigTimeRange[0],
+		ConfigTimeHigh:      p.ConfigTimeRange[1],
+		Nodes:               p.Nodes,
+		NodeAreaLow:         p.NodeAreaRange[0],
+		NodeAreaHigh:        p.NodeAreaRange[1],
+		CapKinds:            p.CapKinds,
+		NodeCapProb:         p.NodeCapProb,
+		ConfigCapProb:       p.ConfigCapProb,
+	}
+}
+
+// placement parses the placement name.
+func (p Params) placement() (sched.Placement, error) {
+	switch p.Placement {
+	case "", "best-fit":
+		return sched.BestFit, nil
+	case "first-fit":
+		return sched.FirstFit, nil
+	case "worst-fit":
+		return sched.WorstFit, nil
+	case "random-fit":
+		return sched.RandomFit, nil
+	default:
+		return 0, fmt.Errorf("dreamsim: unknown placement %q", p.Placement)
+	}
+}
+
+// coreParams lowers the public parameters onto the engine.
+func (p Params) coreParams() (core.Params, error) {
+	placement, err := p.placement()
+	if err != nil {
+		return core.Params{}, err
+	}
+	cp := core.Params{
+		Spec:    p.spec(),
+		Partial: p.PartialReconfig,
+		Seed:    p.Seed,
+		PolicyOptions: sched.Options{
+			Placement:         placement,
+			LoadBalance:       p.LoadBalance,
+			DisableSuspension: p.DisableSuspension,
+		},
+		Net: netmodel.Model{
+			DelayLow:           p.NetworkDelayRange[0],
+			DelayHigh:          p.NetworkDelayRange[1],
+			BitstreamBandwidth: p.BitstreamBandwidth,
+			DataBandwidth:      p.DataBandwidth,
+		},
+		TickStep:        p.TickStep,
+		MaxSusRetries:   p.MaxSusRetries,
+		DefragThreshold: p.DefragThreshold,
+	}
+	return cp, cp.Validate()
+}
+
+// Result carries the outcome of one run: the paper's Table I metrics
+// plus supporting detail. Field meanings follow Table I; times are in
+// timeticks, areas in area units.
+type Result struct {
+	// Table I metrics.
+	AvgWastedAreaPerTask      float64
+	AvgRunningTimePerTask     float64
+	AvgReconfigCountPerNode   float64
+	AvgReconfigTimePerTask    float64
+	AvgWaitingTimePerTask     float64
+	AvgSchedulingStepsPerTask float64
+	TotalDiscardedTasks       int64
+	TotalSchedulerWorkload    uint64
+	TotalUsedNodes            int64
+	TotalSimulationTime       int64
+
+	// Supporting detail.
+	TotalTasks       int64
+	CompletedTasks   int64
+	Reconfigurations int64
+	SusQueuePeak     int64
+	DiscardRate      float64
+
+	// Phases counts placements and verdicts per scheduling phase.
+	Phases map[string]int64
+	// Scenario is "partial" or "full"; Policy names the scheduler.
+	Scenario string
+	Policy   string
+	// Seed echoes the run's seed.
+	Seed uint64
+	// Timeline holds monitoring samples when Params.SampleEvery > 0.
+	Timeline []TimelinePoint
+
+	rep          metrics.Report
+	xml          report.Simulation
+	timelineText string
+}
+
+// TimelinePoint is one monitoring sample of a run's time series.
+type TimelinePoint struct {
+	Time         int64
+	RunningTasks int
+	Suspended    int
+	Utilization  float64
+	WastedArea   int64
+}
+
+// TimelineText renders the recorded utilisation/queue sparklines;
+// empty unless Params.SampleEvery was set.
+func (r Result) TimelineText() string { return r.timelineText }
+
+// Run executes one simulation.
+func Run(p Params) (Result, error) {
+	cp, err := p.coreParams()
+	if err != nil {
+		return Result{}, err
+	}
+	var rec *monitor.Recorder
+	if p.SampleEvery > 0 {
+		rec = monitor.NewRecorder(p.SampleEvery)
+		cp.Recorder = rec
+	}
+	s, err := core.New(cp)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := wrap(res, cp)
+	if rec != nil {
+		for _, sm := range rec.Samples() {
+			out.Timeline = append(out.Timeline, TimelinePoint{
+				Time:         sm.Time,
+				RunningTasks: sm.Running,
+				Suspended:    sm.Suspended,
+				Utilization:  sm.Utilization,
+				WastedArea:   sm.WastedArea,
+			})
+		}
+		out.timelineText = rec.Timeline(60)
+	}
+	return out, nil
+}
+
+// RunTrace executes one simulation with the task stream read from a
+// trace (see the dreamgen tool); nodes and configurations still come
+// from the parameters.
+func RunTrace(r io.Reader, p Params) (Result, error) {
+	cp, err := p.coreParams()
+	if err != nil {
+		return Result{}, err
+	}
+	cp.Source = workload.NewTraceReader(r)
+	s, err := core.New(cp)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	return wrap(res, cp), nil
+}
+
+// GenerateTrace synthesises the task stream the given parameters
+// would produce and writes it as a trace.
+func GenerateTrace(w io.Writer, p Params) error {
+	cp, err := p.coreParams()
+	if err != nil {
+		return err
+	}
+	s, err := core.New(cp)
+	if err != nil {
+		return err
+	}
+	return workload.WriteTrace(w, workload.Drain(s.Source()))
+}
+
+// Compare runs the full- and partial-reconfiguration scenarios over
+// identical inputs (same seed) — the paper's head-to-head experiment.
+func Compare(p Params) (full, partial Result, err error) {
+	p.PartialReconfig = false
+	if full, err = Run(p); err != nil {
+		return
+	}
+	p.PartialReconfig = true
+	partial, err = Run(p)
+	return
+}
+
+// wrap converts an engine result to the public form.
+func wrap(res *core.Result, cp core.Params) Result {
+	r := res.Report
+	return Result{
+		AvgWastedAreaPerTask:      r.AvgWastedAreaPerTask,
+		AvgRunningTimePerTask:     r.AvgRunningTimePerTask,
+		AvgReconfigCountPerNode:   r.AvgReconfigCountPerNode,
+		AvgReconfigTimePerTask:    r.AvgReconfigTimePerTask,
+		AvgWaitingTimePerTask:     r.AvgWaitingTimePerTask,
+		AvgSchedulingStepsPerTask: r.AvgSchedulingStepsPerTask,
+		TotalDiscardedTasks:       r.TotalDiscardedTasks,
+		TotalSchedulerWorkload:    r.TotalSchedulerWorkload,
+		TotalUsedNodes:            r.TotalUsedNodes,
+		TotalSimulationTime:       r.TotalSimulationTime,
+		TotalTasks:                r.TotalTasks,
+		CompletedTasks:            r.CompletedTasks,
+		Reconfigurations:          r.Reconfigurations,
+		SusQueuePeak:              r.SusQueuePeak,
+		DiscardRate:               r.DiscardRate,
+		Phases:                    res.Phases,
+		Scenario:                  res.Scenario,
+		Policy:                    res.Policy,
+		Seed:                      res.Seed,
+		rep:                       r,
+		xml:                       res.XML(cp),
+	}
+}
+
+// TableI renders the run's Table I metrics as a text table.
+func (r Result) TableI() string { return report.TableIText(r.rep) }
+
+// WriteXML emits the run's XML simulation report (output subsystem).
+func (r Result) WriteXML(w io.Writer) error { return report.WriteXML(w, r.xml) }
+
+// CompareTable renders two runs side by side.
+func CompareTable(a, b Result) string {
+	return report.CompareText(a.Scenario, a.rep, b.Scenario, b.rep)
+}

@@ -1,0 +1,45 @@
+// Partial vs full reconfiguration: the paper's headline experiment.
+// Runs both scenarios over identical inputs (same seed ⇒ same nodes,
+// configurations and task stream) at 100 nodes, prints the metrics
+// side by side, and renders a miniature Fig. 6a (average wasted area
+// per task) as an ASCII chart.
+//
+//	go run ./examples/partial_vs_full
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dreamsim"
+)
+
+func main() {
+	p := dreamsim.DefaultParams()
+	p.Nodes = 100
+	p.Tasks = 3000
+	p.Seed = 7
+
+	full, partial, err := dreamsim.Compare(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("head-to-head at %d nodes, %d tasks (seed %d)\n\n", p.Nodes, p.Tasks, p.Seed)
+	fmt.Print(dreamsim.CompareTable(full, partial))
+
+	fmt.Printf("\npartial reconfiguration wastes %.1fx less area per task\n",
+		full.AvgWastedAreaPerTask/partial.AvgWastedAreaPerTask)
+	fmt.Printf("partial reconfiguration waits %.1fx less per task\n",
+		full.AvgWaitingTimePerTask/partial.AvgWaitingTimePerTask)
+	fmt.Printf("but reconfigures %.1fx more per node (cheap under partial reconfiguration)\n\n",
+		partial.AvgReconfigCountPerNode/full.AvgReconfigCountPerNode)
+
+	// Miniature Fig. 6a over a reduced task grid.
+	fig, err := dreamsim.RunFigure(dreamsim.Fig6a, []int{1000, 2000, 3000}, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig.Plot())
+	fmt.Println(fig.Summary())
+}

@@ -1,0 +1,67 @@
+// Placement-policy ablation: the paper's Allocation phase picks the
+// idle node with minimum AvailableArea ("best fit", so large-area
+// nodes stay free for later reconfigurations). This example compares
+// that criterion against first-fit, worst-fit and random-fit, plus
+// the load-balancing tie-break, on the same workload.
+//
+//	go run ./examples/policies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dreamsim"
+)
+
+func main() {
+	base := dreamsim.DefaultParams()
+	base.Nodes = 100
+	base.Tasks = 3000
+	base.Seed = 11
+	base.PartialReconfig = true
+
+	type row struct {
+		label string
+		mut   func(*dreamsim.Params)
+	}
+	rows := []row{
+		{"best-fit (paper)", func(p *dreamsim.Params) { p.Placement = "best-fit" }},
+		{"best-fit + load balance", func(p *dreamsim.Params) { p.Placement = "best-fit"; p.LoadBalance = true }},
+		{"first-fit", func(p *dreamsim.Params) { p.Placement = "first-fit" }},
+		{"worst-fit", func(p *dreamsim.Params) { p.Placement = "worst-fit" }},
+		{"random-fit", func(p *dreamsim.Params) { p.Placement = "random-fit" }},
+	}
+
+	fmt.Printf("placement ablation — %d nodes, %d tasks, partial reconfiguration\n\n", base.Nodes, base.Tasks)
+	fmt.Printf("%-26s %14s %14s %14s %12s\n",
+		"policy", "wasted/task", "wait/task", "reconf/node", "discarded")
+	for _, r := range rows {
+		p := base
+		r.mut(&p)
+		res, err := dreamsim.Run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %14.2f %14.0f %14.2f %12d\n",
+			r.label, res.AvgWastedAreaPerTask, res.AvgWaitingTimePerTask,
+			res.AvgReconfigCountPerNode, res.TotalDiscardedTasks)
+	}
+
+	fmt.Println("\nsuspension-queue ablation (same workload):")
+	for _, sus := range []bool{false, true} {
+		p := base
+		p.DisableSuspension = sus
+		res, err := dreamsim.Run(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "with suspension queue"
+		if sus {
+			mode = "without suspension queue"
+		}
+		fmt.Printf("  %-26s completed %4d/%d  discarded %4d  wait/task %.0f\n",
+			mode, res.CompletedTasks, res.TotalTasks, res.TotalDiscardedTasks,
+			res.AvgWaitingTimePerTask)
+	}
+}

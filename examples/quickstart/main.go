@@ -1,0 +1,37 @@
+// Quickstart: run one DReAMSim simulation with the paper's Table II
+// parameters and print every Table I performance metric.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dreamsim"
+)
+
+func main() {
+	// Start from the paper's defaults (200 nodes, 50 configurations,
+	// Table II ranges) and pick a workload size.
+	p := dreamsim.DefaultParams()
+	p.Tasks = 2000
+	p.PartialReconfig = true
+	p.Seed = 42
+
+	res, err := dreamsim.Run(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("DReAMSim quickstart — %s reconfiguration, policy %s\n\n", res.Scenario, res.Policy)
+	fmt.Print(res.TableI())
+
+	fmt.Printf("\n%d of %d tasks completed (%d discarded), suspension queue peaked at %d\n",
+		res.CompletedTasks, res.TotalTasks, res.TotalDiscardedTasks, res.SusQueuePeak)
+
+	fmt.Println("\nhow tasks were placed:")
+	for _, phase := range dreamsim.SortedPhaseNames(res) {
+		fmt.Printf("  %-18s %d\n", phase, res.Phases[phase])
+	}
+}

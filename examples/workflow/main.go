@@ -1,0 +1,93 @@
+// Workflow (task-graph) scheduling: the paper's §VII future-work
+// extension. Builds a Montage-style mosaic pipeline DAG — N parallel
+// reprojections feeding a fan-in of background corrections, a merge,
+// and a final render — and compares how the two reconfiguration
+// methods execute it against the graph's intrinsic bounds.
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dreamsim"
+)
+
+// montage builds the pipeline DAG with the given fan-out.
+func montage(fanout int) dreamsim.GraphWorkload {
+	var wl dreamsim.GraphWorkload
+	id := 0
+	add := func(req int64, cfg int, deps ...int) int {
+		wl.Tasks = append(wl.Tasks, dreamsim.GraphTask{
+			ID: id, RequiredTime: req, PrefConfig: cfg, NeededArea: 800,
+			SubmitTime: int64(id), DependsOn: deps,
+		})
+		wl.TotalWork += req
+		id++
+		return id - 1
+	}
+
+	// Stage 1: parallel reprojections (DSP-heavy, config 0..9).
+	var reprojected []int
+	for i := 0; i < fanout; i++ {
+		reprojected = append(reprojected, add(8000, i%10))
+	}
+	// Stage 2: pairwise background fits, each needs two reprojections.
+	var fits []int
+	for i := 0; i+1 < len(reprojected); i += 2 {
+		fits = append(fits, add(3000, 10+i%5, reprojected[i], reprojected[i+1]))
+	}
+	// Stage 3: global merge waits for every fit.
+	merge := add(12000, 20, fits...)
+	// Stage 4: final render.
+	add(6000, 21, merge)
+
+	// Critical path: reprojection -> fit -> merge -> render.
+	wl.CriticalPath = 8000 + 3000 + 12000 + 6000
+	return wl
+}
+
+func main() {
+	p := dreamsim.DefaultParams()
+	p.Nodes = 8
+	p.Seed = 5
+
+	wl := montage(48)
+	fmt.Printf("montage-style pipeline: %d tasks, total work %d ticks, critical path %d ticks\n\n",
+		len(wl.Tasks), wl.TotalWork, wl.CriticalPath)
+
+	fmt.Printf("%-10s %12s %14s %14s %12s\n",
+		"scenario", "makespan", "vs crit.path", "wait/task", "reconf/node")
+	for _, partial := range []bool{false, true} {
+		p.PartialReconfig = partial
+		res, err := dreamsim.RunGraph(wl.Tasks, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12d %13.2fx %14.0f %12.2f\n",
+			res.Scenario, res.TotalSimulationTime,
+			float64(res.TotalSimulationTime)/float64(wl.CriticalPath),
+			res.AvgWaitingTimePerTask, res.AvgReconfigCountPerNode)
+	}
+
+	// A random layered DAG for comparison (generator-driven).
+	fmt.Println("\nrandom layered DAG (12 layers, width 24):")
+	rnd, err := dreamsim.RandomLayeredGraph(p, 12, 24, 0.3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d tasks, total work %d, critical path %d\n",
+		len(rnd.Tasks), rnd.TotalWork, rnd.CriticalPath)
+	for _, partial := range []bool{false, true} {
+		p.PartialReconfig = partial
+		res, err := dreamsim.RunGraph(rnd.Tasks, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s makespan %8d (%.2fx critical path), %d/%d completed\n",
+			res.Scenario, res.TotalSimulationTime,
+			float64(res.TotalSimulationTime)/float64(rnd.CriticalPath),
+			res.CompletedTasks, res.TotalTasks)
+	}
+}

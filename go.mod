@@ -1,0 +1,3 @@
+module dreamsim
+
+go 1.22

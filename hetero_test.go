@@ -1,0 +1,80 @@
+package dreamsim_test
+
+import (
+	"testing"
+
+	"dreamsim"
+)
+
+// heteroParams enables the capability extension at a rate where some
+// configurations become hard (but not impossible) to place.
+func heteroParams(nodeProb, cfgProb float64) dreamsim.Params {
+	p := dreamsim.DefaultParams()
+	p.Nodes = 40
+	p.Tasks = 600
+	p.CapKinds = []string{"bram", "dsp", "serdes"}
+	p.NodeCapProb = nodeProb
+	p.ConfigCapProb = cfgProb
+	return p
+}
+
+func TestHeteroRunCompletes(t *testing.T) {
+	res, err := dreamsim.Run(heteroParams(0.6, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletedTasks+res.TotalDiscardedTasks != res.TotalTasks {
+		t.Fatal("accounting broken under heterogeneity")
+	}
+	if res.CompletedTasks == 0 {
+		t.Fatal("nothing completed")
+	}
+}
+
+func TestHeteroScarcityRaisesWaits(t *testing.T) {
+	// With rare capabilities, compatible nodes are scarce: waits (or
+	// discards) must rise relative to the homogeneous baseline.
+	base := heteroParams(0, 0)
+	base.CapKinds = nil
+	homo, err := dreamsim.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scarce, err := dreamsim.Run(heteroParams(0.3, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pressureHomo := homo.AvgWaitingTimePerTask + 1e6*float64(homo.TotalDiscardedTasks)
+	pressureScarce := scarce.AvgWaitingTimePerTask + 1e6*float64(scarce.TotalDiscardedTasks)
+	if !(pressureScarce > pressureHomo) {
+		t.Fatalf("capability scarcity did not add pressure: %.0f vs %.0f",
+			pressureScarce, pressureHomo)
+	}
+}
+
+func TestHeteroValidation(t *testing.T) {
+	p := heteroParams(0, 0.5) // configs require caps nodes never offer
+	if _, err := dreamsim.Run(p); err == nil {
+		t.Fatal("impossible capability setup accepted")
+	}
+	p = heteroParams(1.5, 0)
+	if _, err := dreamsim.Run(p); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+func TestHeteroDeterministicAcrossScenarios(t *testing.T) {
+	p := heteroParams(0.6, 0.3)
+	full, partial, err := dreamsim.Compare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.TotalTasks != partial.TotalTasks {
+		t.Fatal("scenarios diverged under heterogeneity")
+	}
+	// Headline ordering survives heterogeneity.
+	if !(partial.AvgWastedAreaPerTask < full.AvgWastedAreaPerTask) {
+		t.Fatalf("wasted area partial %.1f !< full %.1f under heterogeneity",
+			partial.AvgWastedAreaPerTask, full.AvgWastedAreaPerTask)
+	}
+}

@@ -1,0 +1,606 @@
+// Package core implements the DReAMSim engine (the paper's DreamSim
+// class, §IV-C): it wires the input subsystem (workload generation),
+// the information subsystem (resource information manager), the core
+// subsystem (scheduling policy, monitoring, suspension queue) and the
+// output subsystem (metrics/report) into one deterministic
+// discrete-event simulation (RunScheduler / MakeReport).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"dreamsim/internal/metrics"
+	"dreamsim/internal/model"
+	"dreamsim/internal/monitor"
+	"dreamsim/internal/netmodel"
+	"dreamsim/internal/resinfo"
+	"dreamsim/internal/reslists"
+	"dreamsim/internal/rng"
+	"dreamsim/internal/sched"
+	"dreamsim/internal/sim"
+	"dreamsim/internal/workload"
+)
+
+// Params configures one simulation run.
+type Params struct {
+	// Spec holds the Table II workload/resource generation parameters.
+	Spec workload.Spec
+	// Partial selects the reconfiguration method: true = partial
+	// reconfiguration (one node, multiple tasks), false = full
+	// reconfiguration (one node, one task).
+	Partial bool
+	// Seed drives all randomness. Two runs with the same seed and
+	// Spec see identical nodes, configurations and task streams even
+	// when Partial differs — the paper's "same set of parameters in
+	// each simulation run".
+	Seed uint64
+	// PolicyOptions tune the paper scheduling algorithm; ignored when
+	// Policy is set.
+	PolicyOptions sched.Options
+	// Policy overrides the scheduling policy entirely (optional).
+	Policy sched.Policy
+	// Net is the communication model (zero value: no delays).
+	Net netmodel.Model
+	// Source replaces the synthetic task generator with an external
+	// arrival stream, e.g. a trace (optional). Spec still generates
+	// nodes and configurations.
+	Source workload.Source
+	// TickStep forces the paper-literal tick-by-tick clock instead of
+	// event jumping. Results are identical; wall time is not.
+	TickStep bool
+	// Debug validates all structural invariants after every event;
+	// expensive, meant for tests.
+	Debug bool
+	// MaxSusRetries, when positive, discards a suspended task after
+	// it has been re-examined that many times without placement.
+	MaxSusRetries int64
+	// Deps lists precedence constraints: Deps[child] = parent task
+	// numbers that must complete before child may be scheduled (task-
+	// graph workloads, the paper's §VII future work). A task whose
+	// parent is discarded is discarded too. taskgraph.Graph.DepsMap
+	// produces this form.
+	Deps map[int][]int
+	// DefragThreshold, when positive, compacts fully-idle partial
+	// nodes: after the suspension retry, a node left with at least
+	// this many idle regions and no running task is blanked, returning
+	// its fabric to one contiguous pool for future configurations
+	// (region fragmentation is the classic partial-reconfiguration
+	// cost; this knob ablates fighting it eagerly).
+	DefragThreshold int
+	// OnEvent, when set, observes the task lifecycle ("arrival",
+	// "place", "suspend", "discard", "complete").
+	OnEvent func(kind string, now int64, task *model.Task)
+	// Recorder, when set, samples system state (the monitoring
+	// module's time series) at every placement and completion.
+	Recorder *monitor.Recorder
+}
+
+// Validate reports the first incoherent parameter.
+func (p *Params) Validate() error {
+	if err := p.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := p.Net.Validate(); err != nil {
+		return err
+	}
+	if p.MaxSusRetries < 0 {
+		return fmt.Errorf("core: negative MaxSusRetries %d", p.MaxSusRetries)
+	}
+	if p.DefragThreshold < 0 {
+		return fmt.Errorf("core: negative DefragThreshold %d", p.DefragThreshold)
+	}
+	return nil
+}
+
+// Simulator is one configured simulation run. Use New, then Run once.
+type Simulator struct {
+	params  Params
+	eng     sim.Engine
+	mgr     *resinfo.Manager
+	policy  sched.Policy
+	source  workload.Source
+	sus     *reslists.SusQueue
+	c       *metrics.Counters
+	used    map[int]bool
+	phases  map[string]int64
+	ran     bool
+	arrDone bool
+	err     error
+
+	// idleScratch is the reusable per-retry idle-config digest.
+	idleScratch []bool
+
+	// Dependency bookkeeping (task-graph workloads).
+	children   map[int][]int            // parent task no -> child task nos
+	terminal   map[int]model.TaskStatus // completed/discarded tasks by no
+	depBlocked map[int]*model.Task      // arrived tasks waiting on parents
+}
+
+// New builds a simulator: it generates the resource population and
+// the task source from independent, seed-derived RNG streams so that
+// partial/full scenario pairs share identical inputs.
+func New(params Params) (*Simulator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(params.Seed)
+	cfgR := root.Split()
+	nodeR := root.Split()
+	taskR := root.Split()
+	delayR := root.Split()
+
+	configs := workload.GenConfigs(cfgR, &params.Spec)
+	nodes := workload.GenNodes(nodeR, &params.Spec, params.Partial)
+	params.Net.AssignDelays(delayR, nodes)
+
+	counters := &metrics.Counters{}
+	mgr, err := resinfo.New(nodes, configs, counters)
+	if err != nil {
+		return nil, err
+	}
+
+	source := params.Source
+	if source == nil {
+		gen, err := workload.NewGenerator(taskR, &params.Spec, configs)
+		if err != nil {
+			return nil, err
+		}
+		source = gen
+	}
+	policy := params.Policy
+	if policy == nil {
+		opts := params.PolicyOptions
+		if opts.Placement == sched.RandomFit && opts.RNG == nil {
+			opts.RNG = root.Split()
+		}
+		policy = sched.New(opts)
+	}
+
+	s := &Simulator{
+		params: params,
+		mgr:    mgr,
+		policy: policy,
+		source: source,
+		sus:    reslists.NewSusQueue(),
+		c:      counters,
+		used:   make(map[int]bool),
+		phases: make(map[string]int64),
+	}
+	if len(params.Deps) > 0 {
+		s.children = make(map[int][]int)
+		s.terminal = make(map[int]model.TaskStatus)
+		s.depBlocked = make(map[int]*model.Task)
+		for child, parents := range params.Deps {
+			for _, p := range parents {
+				s.children[p] = append(s.children[p], child)
+			}
+		}
+	}
+	s.eng.TickStep = params.TickStep
+	return s, nil
+}
+
+// Manager exposes the resource information manager (read-only use).
+func (s *Simulator) Manager() *resinfo.Manager { return s.mgr }
+
+// Source exposes the task arrival stream. Draining it manually (for
+// trace capture) consumes the tasks the run would otherwise see, so
+// do not also Run the same Simulator afterwards.
+func (s *Simulator) Source() workload.Source { return s.source }
+
+// Snapshot captures the current monitoring view.
+func (s *Simulator) Snapshot() monitor.Snapshot {
+	return monitor.Take(s.mgr, s.eng.Now())
+}
+
+// Run executes the simulation to completion and assembles the result.
+// A Simulator runs once.
+func (s *Simulator) Run() (*Result, error) {
+	if s.ran {
+		return nil, errors.New("core: Simulator already ran")
+	}
+	s.ran = true
+
+	s.scheduleNextArrival()
+	s.eng.Run(func() bool { return s.err != nil })
+	if s.err != nil {
+		return nil, s.err
+	}
+
+	// The event queue drained: every task must be accounted for.
+	s.c.SuspendedTasks = int64(s.sus.Len())
+	if s.c.SuspendedTasks != 0 || s.c.RunningTasks != 0 {
+		return nil, fmt.Errorf("core: run ended with %d suspended, %d running tasks",
+			s.c.SuspendedTasks, s.c.RunningTasks)
+	}
+	if len(s.depBlocked) != 0 {
+		return nil, fmt.Errorf("core: run ended with %d tasks still blocked on dependencies",
+			len(s.depBlocked))
+	}
+	s.c.SimulationTime = s.eng.Now() // Eq. 5
+	s.c.UsedNodes = int64(len(s.used))
+	s.c.SusQueuePeak = int64(s.sus.Peak())
+
+	scenario := "full"
+	if s.params.Partial {
+		scenario = "partial"
+	}
+	return &Result{
+		Report:   metrics.Compute(s.c),
+		Counters: *s.c,
+		Phases:   s.phases,
+		Policy:   s.policy.Name(),
+		Scenario: scenario,
+		Seed:     s.params.Seed,
+		Final:    monitor.Take(s.mgr, s.eng.Now()),
+	}, nil
+}
+
+// scheduleNextArrival pulls the next task from the source and queues
+// its arrival event.
+func (s *Simulator) scheduleNextArrival() {
+	task, ok := s.source.Next()
+	if !ok {
+		s.arrDone = true
+		if tr, isTrace := s.source.(*workload.TraceReader); isTrace && tr.Err() != nil {
+			s.fail(tr.Err())
+		}
+		return
+	}
+	at := task.CreateTime
+	if at < s.eng.Now() {
+		s.fail(fmt.Errorf("core: source emitted task %d in the past (%d < %d)",
+			task.No, at, s.eng.Now()))
+		return
+	}
+	s.eng.ScheduleAt(at, "arrival", func(now int64) {
+		s.handleArrival(task, now)
+	})
+}
+
+// handleArrival runs the scheduling algorithm for a newly arrived task.
+func (s *Simulator) handleArrival(task *model.Task, now int64) {
+	if s.err != nil {
+		return
+	}
+	s.c.GeneratedTasks++
+	s.emit("arrival", now, task)
+	s.scheduleNextArrival()
+
+	if s.depBlocked != nil {
+		switch s.parentGate(task) {
+		case gateDiscard:
+			s.discard(task, now)
+			s.debugCheck()
+			return
+		case gateBlocked:
+			s.depBlocked[task.No] = task
+			s.emit("hold", now, task)
+			s.debugCheck()
+			return
+		}
+	}
+	d := s.policy.Decide(s.mgr, task)
+	s.dispatch(task, d, now)
+	s.debugCheck()
+}
+
+// gateVerdict classifies a task against its precedence constraints.
+type gateVerdict int
+
+const (
+	gateReady gateVerdict = iota
+	gateBlocked
+	gateDiscard
+)
+
+// parentGate checks whether task's parents allow it to run yet.
+func (s *Simulator) parentGate(task *model.Task) gateVerdict {
+	for _, p := range s.params.Deps[task.No] {
+		switch s.terminal[p] {
+		case model.TaskCompleted:
+			// satisfied
+		case model.TaskDiscarded:
+			return gateDiscard
+		default:
+			return gateBlocked
+		}
+	}
+	return gateReady
+}
+
+// releaseChildren re-examines the dependants of a finished parent.
+func (s *Simulator) releaseChildren(parentNo int, now int64) {
+	for _, childNo := range s.children[parentNo] {
+		child, waiting := s.depBlocked[childNo]
+		if !waiting {
+			continue // not yet arrived; its arrival will re-check
+		}
+		switch s.parentGate(child) {
+		case gateReady:
+			delete(s.depBlocked, childNo)
+			s.dispatch(child, s.policy.Decide(s.mgr, child), now)
+		case gateDiscard:
+			delete(s.depBlocked, childNo)
+			s.discard(child, now)
+		}
+	}
+}
+
+// dispatch applies a scheduling decision to a task.
+func (s *Simulator) dispatch(task *model.Task, d sched.Decision, now int64) {
+	switch {
+	case d.Places():
+		s.place(task, d, now)
+	case d.Action == sched.ActSuspend:
+		s.sus.Add(task)
+		s.c.SuspendedTasks = int64(s.sus.Len())
+		s.phases["suspend"]++
+		s.emit("suspend", now, task)
+	default:
+		s.discard(task, now)
+	}
+}
+
+// place commits a placing decision: mutate resource state, charge
+// Eq. 6-8 accounting, and schedule the completion event.
+func (s *Simulator) place(task *model.Task, d sched.Decision, now int64) {
+	entry, _, err := sched.Apply(s.mgr, task, d)
+	if err != nil {
+		s.fail(fmt.Errorf("core: applying %s for task %d: %w", d, task.No, err))
+		return
+	}
+	node := entry.Node
+
+	var cfgDelay int64
+	if d.Action != sched.ActAllocate {
+		cfgDelay = s.params.Net.ConfigDelay(node, d.Config)
+	}
+	commDelay := s.params.Net.CommDelay(node, task)
+
+	task.StartTime = now
+	task.CommDelay = commDelay
+	task.ConfigDelay = cfgDelay
+	s.c.TaskWaitTime += task.WaitTime() // Eq. 8/9
+
+	// Eq. 6/7 accumulation: the fabric left unusable beside the task
+	// just placed (see DESIGN.md "wasted-area accounting").
+	s.c.WastedArea += node.AvailableArea
+
+	s.used[node.No] = true
+	s.phases[d.Action.String()]++
+	if d.ClosestMatch {
+		s.phases["closest-match"]++
+	}
+	s.c.RunningTasks++
+	s.c.SuspendedTasks = int64(s.sus.Len())
+	s.emit("place", now, task)
+
+	s.eng.ScheduleAfter(commDelay+cfgDelay+task.RequiredTime, "completion", func(end int64) {
+		s.handleCompletion(task, node, end)
+	})
+}
+
+// discard drops a task permanently; dependants of a discarded task
+// can never run, so the verdict cascades to waiting children.
+func (s *Simulator) discard(task *model.Task, now int64) {
+	task.Status = model.TaskDiscarded
+	s.c.DiscardedTasks++
+	s.phases["discard"]++
+	s.emit("discard", now, task)
+	if s.terminal != nil {
+		s.terminal[task.No] = model.TaskDiscarded
+		s.releaseChildren(task.No, now)
+	}
+}
+
+// handleCompletion is the paper's TaskCompletionProc: release the
+// region, update lists and statistics, then feed the freed node to
+// the suspension queue.
+func (s *Simulator) handleCompletion(task *model.Task, node *model.Node, now int64) {
+	if s.err != nil {
+		return
+	}
+	if _, err := s.mgr.FinishTask(node, task); err != nil {
+		s.fail(fmt.Errorf("core: completing task %d: %w", task.No, err))
+		return
+	}
+	task.Status = model.TaskCompleted
+	task.CompletionTime = now
+	s.c.CompletedTasks++
+	s.c.RunningTasks--
+	s.c.TaskRunningTime += task.TurnaroundTime()
+	s.emit("complete", now, task)
+
+	if s.terminal != nil {
+		s.terminal[task.No] = model.TaskCompleted
+		s.releaseChildren(task.No, now)
+	}
+	s.retrySuspended(node, now)
+	s.maybeDefrag(node)
+
+	// Arrivals exhausted and the system drained: resolve whatever is
+	// still suspended via full scheduling passes so the run terminates.
+	if s.arrDone && s.c.RunningTasks == 0 && s.sus.Len() > 0 {
+		s.drainQueue(now)
+	}
+	s.debugCheck()
+}
+
+// nodeSummary is an O(1)-queryable digest of what a freed node can
+// offer the suspension queue: which configurations have an idle
+// region, how much unconfigured fabric is free, and how much area is
+// reclaimable by evicting idle regions. Full-configuration nodes
+// offer only the direct match — their fabric cannot be rewritten
+// piecewise while the retry considers them (see Policy.DecideOnNode).
+type nodeSummary struct {
+	idle    []bool // indexed by configuration number
+	free    model.Area
+	reclaim model.Area
+}
+
+// summarize digests node; the entry walk is housekeeping work.
+func (s *Simulator) summarize(node *model.Node) nodeSummary {
+	if s.idleScratch == nil {
+		s.idleScratch = make([]bool, len(s.mgr.Configs()))
+	} else {
+		for i := range s.idleScratch {
+			s.idleScratch[i] = false
+		}
+	}
+	sum := nodeSummary{idle: s.idleScratch}
+	var steps uint64
+	busy := false
+	for _, e := range node.Entries {
+		steps++
+		if e.Idle() {
+			if e.Config.No < len(sum.idle) {
+				sum.idle[e.Config.No] = true
+			}
+			sum.reclaim += e.Config.ReqArea
+		} else {
+			busy = true
+		}
+	}
+	s.mgr.ChargeHousekeeping(steps)
+	if node.PartialMode {
+		sum.free = node.AvailableArea
+		sum.reclaim += node.AvailableArea
+	} else {
+		sum.reclaim = 0 // full mode: retry never rewrites the node
+		if busy {
+			for i := range sum.idle {
+				sum.idle[i] = false // resident region unusable
+			}
+		}
+	}
+	return sum
+}
+
+// fits reports whether a task needing cfg could possibly land on the
+// summarised node.
+func (sum nodeSummary) fits(cfg *model.Config) bool {
+	if cfg.No < len(sum.idle) && sum.idle[cfg.No] {
+		return true
+	}
+	return cfg.ReqArea <= sum.free || cfg.ReqArea <= sum.reclaim
+}
+
+// retrySuspended walks the suspension queue in FIFO order after node
+// released resources (the paper's RemoveTaskFromSusQueue flow),
+// placing every queued task the node can still host. Each explored
+// queue link is one scheduler search step (the Table I "search links
+// explored" unit); the policy is consulted only for tasks the digest
+// says could fit, so a miss costs exactly one step.
+func (s *Simulator) retrySuspended(node *model.Node, now int64) {
+	if s.sus.Len() == 0 {
+		return
+	}
+	sum := s.summarize(node)
+	steps := s.sus.Each(func(qt *model.Task) bool {
+		if s.err != nil {
+			return false
+		}
+		if s.params.MaxSusRetries > 0 && qt.SusRetry > s.params.MaxSusRetries {
+			s.sus.Remove(qt)
+			s.discard(qt, now)
+			return true
+		}
+		if qt.Resolved != nil && !sum.fits(qt.Resolved) {
+			return true // cannot fit: one search step, nothing else
+		}
+		d := s.policy.DecideOnNode(s.mgr, qt, node)
+		if d.Places() {
+			s.sus.Remove(qt)
+			s.place(qt, d, now)
+			sum = s.summarize(node) // capacity changed
+		}
+		return true
+	})
+	s.c.SusRetries += int64(steps)
+	s.mgr.ChargeSearch(steps)
+	s.c.SuspendedTasks = int64(s.sus.Len())
+}
+
+// drainQueue runs full scheduling passes over the suspended tasks
+// until no further progress; remaining suspend verdicts wait on the
+// tasks just placed, and discard verdicts are final.
+func (s *Simulator) drainQueue(now int64) {
+	for s.err == nil {
+		progress := false
+		for _, qt := range s.sus.Tasks() {
+			d := s.policy.Decide(s.mgr, qt)
+			switch {
+			case d.Places():
+				s.sus.Remove(qt)
+				s.place(qt, d, now)
+				progress = true
+			case d.Action == sched.ActDiscard:
+				s.sus.Remove(qt)
+				s.discard(qt, now)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+		if s.c.RunningTasks > 0 {
+			// Someone is running again; completions take over.
+			break
+		}
+	}
+	s.c.SuspendedTasks = int64(s.sus.Len())
+	if s.err == nil && s.c.RunningTasks == 0 && s.sus.Len() > 0 {
+		s.fail(fmt.Errorf("core: drain left %d unplaceable suspended tasks", s.sus.Len()))
+	}
+}
+
+// maybeDefrag compacts a fully-idle, fragmented partial node when the
+// defragmentation knob is on: all resident (idle) regions are evicted
+// so the fabric returns to one blank pool. Counts as housekeeping.
+func (s *Simulator) maybeDefrag(node *model.Node) {
+	t := s.params.DefragThreshold
+	if t <= 0 || !node.PartialMode || s.err != nil {
+		return
+	}
+	if node.RunningTasks() > 0 || len(node.Entries) < t {
+		return
+	}
+	if err := s.mgr.BlankNode(node); err != nil {
+		s.fail(fmt.Errorf("core: defragmenting node %d: %w", node.No, err))
+	}
+	s.phases["defrag"]++
+}
+
+// emit publishes a lifecycle event to the observer and feeds the
+// monitoring recorder on state-changing events.
+func (s *Simulator) emit(kind string, now int64, task *model.Task) {
+	if s.params.OnEvent != nil {
+		s.params.OnEvent(kind, now, task)
+	}
+	if s.params.Recorder != nil && (kind == "place" || kind == "complete") {
+		s.params.Recorder.Observe(s.mgr, now, s.sus.Len())
+	}
+}
+
+// fail records the first internal error and stops the run.
+func (s *Simulator) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// debugCheck validates all invariants when Debug is on.
+func (s *Simulator) debugCheck() {
+	if !s.params.Debug || s.err != nil {
+		return
+	}
+	if err := s.mgr.CheckInvariants(); err != nil {
+		s.fail(err)
+		return
+	}
+	if err := s.sus.CheckInvariants(); err != nil {
+		s.fail(err)
+	}
+}

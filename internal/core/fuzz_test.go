@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dreamsim/internal/netmodel"
+	"dreamsim/internal/sched"
+	"dreamsim/internal/workload"
+)
+
+// TestQuickRandomRuns drives the whole engine with randomized small
+// parameter sets under Debug (full structural invariant validation
+// after every event). Any violation of Eq. 4, list linkage,
+// suspension-queue consistency or task accounting fails the property.
+func TestQuickRandomRuns(t *testing.T) {
+	f := func(seed uint16, nodes, tasks, cfgs uint8, partial bool,
+		placement uint8, lb, noSus, poisson bool, netHigh uint8, retries uint8) bool {
+
+		spec := workload.TableII(int(nodes%20)+3, int(tasks%120)+10)
+		spec.Configs = int(cfgs%20) + 2
+		if poisson {
+			spec.Arrival = workload.ArrivalPoisson
+		}
+		p := Params{
+			Spec:    spec,
+			Partial: partial,
+			Seed:    uint64(seed),
+			PolicyOptions: sched.Options{
+				Placement:         sched.Placement(placement % 4),
+				LoadBalance:       lb,
+				DisableSuspension: noSus,
+			},
+			Net:           netmodel.Model{DelayLow: 0, DelayHigh: int64(netHigh % 40)},
+			Debug:         true,
+			MaxSusRetries: int64(retries % 5 * 100),
+		}
+		s, err := New(p)
+		if err != nil {
+			return false
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Logf("run failed: %v", err)
+			return false
+		}
+		c := res.Counters
+		if c.GeneratedTasks != int64(spec.Tasks) {
+			return false
+		}
+		if c.CompletedTasks+c.DiscardedTasks != c.GeneratedTasks {
+			return false
+		}
+		if c.RunningTasks != 0 || c.SuspendedTasks != 0 {
+			return false
+		}
+		// Final state passes a last full invariant check.
+		if err := s.mgr.CheckInvariants(); err != nil {
+			t.Logf("final invariants: %v", err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRandomHeteroRuns repeats the property with the capability
+// extension enabled.
+func TestQuickRandomHeteroRuns(t *testing.T) {
+	f := func(seed uint16, nodes, tasks uint8, partial bool, nodeProb, cfgProb uint8) bool {
+		spec := workload.TableII(int(nodes%15)+5, int(tasks%80)+10)
+		spec.CapKinds = []string{"a", "b", "c"}
+		spec.NodeCapProb = 0.2 + float64(nodeProb%80)/100
+		spec.ConfigCapProb = float64(cfgProb%60) / 100
+		p := Params{Spec: spec, Partial: partial, Seed: uint64(seed), Debug: true}
+		s, err := New(p)
+		if err != nil {
+			return false
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Logf("hetero run failed: %v", err)
+			return false
+		}
+		c := res.Counters
+		return c.CompletedTasks+c.DiscardedTasks == c.GeneratedTasks &&
+			c.RunningTasks == 0 && c.SuspendedTasks == 0
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 8
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"dreamsim/internal/metrics"
+	"dreamsim/internal/monitor"
+	"dreamsim/internal/report"
+)
+
+// Result is the outcome of one simulation run: the Table I report,
+// the raw counters, the per-phase placement census and a final
+// monitoring snapshot.
+type Result struct {
+	// Report carries the derived Table I metrics.
+	Report metrics.Report
+	// Counters is a copy of the raw accumulators.
+	Counters metrics.Counters
+	// Phases counts placements per scheduling phase ("allocate",
+	// "configure", "partial-configure", "reconfigure") plus
+	// "suspend", "discard" and "closest-match" occurrences.
+	Phases map[string]int64
+	// Policy is the scheduling policy's name.
+	Policy string
+	// Scenario is "partial" or "full".
+	Scenario string
+	// Seed echoes the run seed.
+	Seed uint64
+	// Final is the monitoring snapshot at the end of the run.
+	Final monitor.Snapshot
+}
+
+// XML assembles the output subsystem's simulation report, echoing the
+// run parameters.
+func (r *Result) XML(params Params) report.Simulation {
+	echo := map[string]string{
+		"total_nodes":            fmt.Sprint(params.Spec.Nodes),
+		"total_configurations":   fmt.Sprint(params.Spec.Configs),
+		"total_tasks":            fmt.Sprint(params.Spec.Tasks),
+		"next_task_max_interval": fmt.Sprint(params.Spec.NextTaskMaxInterval),
+		"arrival":                params.Spec.Arrival.String(),
+		"config_area_range":      fmt.Sprintf("[%d,%d]", params.Spec.ConfigAreaLow, params.Spec.ConfigAreaHigh),
+		"node_area_range":        fmt.Sprintf("[%d,%d]", params.Spec.NodeAreaLow, params.Spec.NodeAreaHigh),
+		"task_reqtime_range":     fmt.Sprintf("[%d,%d]", params.Spec.TaskReqTimeLow, params.Spec.TaskReqTimeHigh),
+		"config_time_range":      fmt.Sprintf("[%d,%d]", params.Spec.ConfigTimeLow, params.Spec.ConfigTimeHigh),
+		"closest_match_pct":      fmt.Sprintf("%g", params.Spec.ClosestMatchPct),
+		"reconfiguration":        r.Scenario,
+	}
+	return report.New(r.Scenario, r.Policy, r.Seed, echo, r.Report, r.Phases)
+}

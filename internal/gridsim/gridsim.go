@@ -1,0 +1,196 @@
+// Package gridsim implements fixed-capacity scheduling baselines in
+// the style of the simulators the paper positions DReAMSim against
+// (§II related work): GridSim models resources as General-Purpose
+// Processors "with fixed computing capacities for every simulation
+// run", and CRGridSim extends it with reconfigurable elements whose
+// only reconfiguration parameter is "a speedup factor of a
+// reconfigurable element over a GPP".
+//
+// The baselines consume the same task stream as DReAMSim, which lets
+// experiments contrast what a capacity-only model predicts with what
+// the area-aware DReAMSim model shows — the paper's motivation:
+// "these simulation tools can not be modified to add reconfigurability
+// of nodes ... many other significant parameters, such as area
+// utilization, reconfigurability, reconfiguration delay ... were not
+// considered."
+package gridsim
+
+import (
+	"fmt"
+
+	"dreamsim/internal/model"
+	"dreamsim/internal/rng"
+	"dreamsim/internal/workload"
+)
+
+// Resource is one fixed-capacity processing element.
+type Resource struct {
+	// No is the resource number.
+	No int
+	// Speed is the fixed computing capacity relative to the reference
+	// GPP (1.0 = reference). A task needing W reference-ticks runs in
+	// W/Speed ticks here.
+	Speed float64
+	// Reconfigurable marks a CRGridSim-style element: faster by the
+	// speedup factor, but charged ReconfigDelay whenever it switches
+	// to a task preferring a different function.
+	Reconfigurable bool
+	// ReconfigDelay is the flat function-switch cost (CRGridSim has
+	// no area model, so the delay is the whole reconfiguration story).
+	ReconfigDelay int64
+
+	// Dynamic state.
+	availableAt int64
+	currentFunc int
+	busyTime    int64
+	switches    int64
+}
+
+// Params configures a baseline run.
+type Params struct {
+	// Resources is the processing-element count.
+	Resources int
+	// SpeedLow/SpeedHigh bound the fixed GPP capacities (relative to
+	// the reference processor; GridSim's heterogeneous MIPS ratings).
+	SpeedLow, SpeedHigh float64
+	// ReconfigurableShare is the fraction of resources that are
+	// CRGridSim-style reconfigurable elements (0 = pure GridSim).
+	ReconfigurableShare float64
+	// Speedup is the CRGridSim speedup factor of reconfigurable
+	// elements over their GPP capacity.
+	Speedup float64
+	// ReconfigDelay is the function-switch cost of reconfigurable
+	// elements, in ticks.
+	ReconfigDelay int64
+	// Seed drives resource generation.
+	Seed uint64
+}
+
+// Validate reports the first incoherent parameter.
+func (p *Params) Validate() error {
+	switch {
+	case p.Resources < 1:
+		return fmt.Errorf("gridsim: resource count %d < 1", p.Resources)
+	case p.SpeedLow <= 0 || p.SpeedHigh < p.SpeedLow:
+		return fmt.Errorf("gridsim: invalid speed range [%v,%v]", p.SpeedLow, p.SpeedHigh)
+	case p.ReconfigurableShare < 0 || p.ReconfigurableShare > 1:
+		return fmt.Errorf("gridsim: reconfigurable share %v outside [0,1]", p.ReconfigurableShare)
+	case p.ReconfigurableShare > 0 && p.Speedup <= 0:
+		return fmt.Errorf("gridsim: reconfigurable elements need a positive speedup")
+	case p.ReconfigDelay < 0:
+		return fmt.Errorf("gridsim: negative reconfiguration delay")
+	}
+	return nil
+}
+
+// Result carries the baseline's outcome in DReAMSim-comparable units.
+type Result struct {
+	Tasks             int64
+	Makespan          int64
+	AvgWaitPerTask    float64
+	AvgTurnaround     float64
+	TotalSwitches     int64
+	AvgUtilization    float64 // busy time / (resources × makespan)
+	ReconfigResources int
+}
+
+// GenResources builds the resource population.
+func GenResources(r *rng.RNG, p *Params) ([]*Resource, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]*Resource, p.Resources)
+	for i := range out {
+		speed := p.SpeedLow + r.Float64()*(p.SpeedHigh-p.SpeedLow)
+		res := &Resource{No: i, Speed: speed, currentFunc: -1}
+		if r.Bool(p.ReconfigurableShare) {
+			res.Reconfigurable = true
+			res.Speed *= p.Speedup
+			res.ReconfigDelay = p.ReconfigDelay
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// Run schedules the task stream FCFS onto the resource pool: each
+// task goes to the resource finishing it earliest (GridSim-style
+// space sharing; no area constraints, any resource runs any task).
+// Task t_required is interpreted as work on the reference GPP.
+func Run(p Params, src workload.Source) (Result, error) {
+	r := rng.New(p.Seed)
+	resources, err := GenResources(r, &p)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, rsrc := range resources {
+		if rsrc.Reconfigurable {
+			res.ReconfigResources++
+		}
+	}
+	var totalWait, totalTurn float64
+	for {
+		task, ok := src.Next()
+		if !ok {
+			break
+		}
+		res.Tasks++
+		best, bestFinish := pick(resources, task)
+		start := max64(task.CreateTime, best.availableAt)
+		if best.Reconfigurable && best.currentFunc != task.PrefConfig {
+			best.switches++
+			res.TotalSwitches++
+			best.currentFunc = task.PrefConfig
+		}
+		best.availableAt = bestFinish
+		best.busyTime += bestFinish - start
+		totalWait += float64(start - task.CreateTime)
+		totalTurn += float64(bestFinish - task.CreateTime)
+		if bestFinish > res.Makespan {
+			res.Makespan = bestFinish
+		}
+	}
+	if res.Tasks > 0 {
+		totalN := float64(res.Tasks)
+		res.AvgWaitPerTask = totalWait / totalN
+		res.AvgTurnaround = totalTurn / totalN
+	}
+	if res.Makespan > 0 {
+		var busy int64
+		for _, rsrc := range resources {
+			busy += rsrc.busyTime
+		}
+		res.AvgUtilization = float64(busy) / (float64(len(resources)) * float64(res.Makespan))
+	}
+	return res, nil
+}
+
+// pick returns the resource finishing task earliest, with its finish
+// time (earliest-finish-time list scheduling).
+func pick(resources []*Resource, task *model.Task) (*Resource, int64) {
+	var best *Resource
+	var bestFinish int64
+	for _, rsrc := range resources {
+		start := max64(task.CreateTime, rsrc.availableAt)
+		if rsrc.Reconfigurable && rsrc.currentFunc != task.PrefConfig {
+			start += rsrc.ReconfigDelay
+		}
+		run := int64(float64(task.RequiredTime)/rsrc.Speed + 0.5)
+		if run < 1 {
+			run = 1
+		}
+		finish := start + run
+		if best == nil || finish < bestFinish {
+			best, bestFinish = rsrc, finish
+		}
+	}
+	return best, bestFinish
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

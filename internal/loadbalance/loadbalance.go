@@ -1,0 +1,82 @@
+// Package loadbalance implements DReAMSim's load balancing module
+// (paper §III core subsystem; §VII lists a fuller load-balancing
+// manager as future work). It quantifies how evenly work is spread
+// over the node population and offers a least-loaded selection that
+// scheduling policies can use as a placement tie-break.
+package loadbalance
+
+import (
+	"math"
+
+	"dreamsim/internal/model"
+)
+
+// Load describes one node's instantaneous load.
+type Load struct {
+	NodeNo      int
+	Running     int     // tasks currently executing
+	AreaInUse   int64   // configured area (TotalArea − AvailableArea)
+	Utilization float64 // AreaInUse / TotalArea
+}
+
+// Loads returns the per-node load vector.
+func Loads(nodes []*model.Node) []Load {
+	out := make([]Load, len(nodes))
+	for i, n := range nodes {
+		used := n.TotalArea - n.AvailableArea
+		out[i] = Load{
+			NodeNo:      n.No,
+			Running:     n.RunningTasks(),
+			AreaInUse:   used,
+			Utilization: float64(used) / float64(n.TotalArea),
+		}
+	}
+	return out
+}
+
+// Imbalance returns the coefficient of variation (stddev/mean) of the
+// running-task counts — 0 means perfectly even, larger means more
+// skewed. An idle system (mean 0) reports 0.
+func Imbalance(nodes []*model.Node) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, n := range nodes {
+		r := float64(n.RunningTasks())
+		sum += r
+		sumsq += r * r
+	}
+	mean := sum / float64(len(nodes))
+	if mean == 0 {
+		return 0
+	}
+	variance := sumsq/float64(len(nodes)) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / mean
+}
+
+// LeastLoaded returns the node with the fewest running tasks among
+// those passing filter (nil filter accepts all); ties break toward
+// larger AvailableArea, then lower node number for determinism.
+// It returns nil when no node passes.
+func LeastLoaded(nodes []*model.Node, filter func(*model.Node) bool) *model.Node {
+	var best *model.Node
+	var bestRun int
+	for _, n := range nodes {
+		if filter != nil && !filter(n) {
+			continue
+		}
+		r := n.RunningTasks()
+		switch {
+		case best == nil,
+			r < bestRun,
+			r == bestRun && n.AvailableArea > best.AvailableArea,
+			r == bestRun && n.AvailableArea == best.AvailableArea && n.No < best.No:
+			best, bestRun = n, r
+		}
+	}
+	return best
+}

@@ -1,0 +1,98 @@
+package loadbalance
+
+import (
+	"math"
+	"testing"
+
+	"dreamsim/internal/model"
+)
+
+// mkNode builds a partial node with cfgArea configured and running
+// tasks on the first `running` regions.
+func mkNode(t *testing.T, no int, total int64, cfgAreas []int64, running int) *model.Node {
+	t.Helper()
+	n := model.NewNode(no, total, true)
+	for i, a := range cfgAreas {
+		e, err := n.SendBitstream(&model.Config{No: i, ReqArea: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < running {
+			if err := n.AddTaskToNode(e, model.NewTask(100*no+i, a, i, 100, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return n
+}
+
+func TestLoads(t *testing.T) {
+	nodes := []*model.Node{
+		mkNode(t, 0, 4000, []int64{1000, 500}, 1),
+		mkNode(t, 1, 2000, nil, 0),
+	}
+	loads := Loads(nodes)
+	if len(loads) != 2 {
+		t.Fatal("wrong length")
+	}
+	if loads[0].Running != 1 || loads[0].AreaInUse != 1500 {
+		t.Fatalf("load[0]: %+v", loads[0])
+	}
+	if math.Abs(loads[0].Utilization-1500.0/4000.0) > 1e-12 {
+		t.Fatalf("utilization: %v", loads[0].Utilization)
+	}
+	if loads[1].Running != 0 || loads[1].AreaInUse != 0 || loads[1].Utilization != 0 {
+		t.Fatalf("load[1]: %+v", loads[1])
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	if Imbalance(nil) != 0 {
+		t.Fatal("nil nodes imbalance not 0")
+	}
+	idle := []*model.Node{mkNode(t, 0, 4000, nil, 0), mkNode(t, 1, 4000, nil, 0)}
+	if Imbalance(idle) != 0 {
+		t.Fatal("idle system imbalance not 0")
+	}
+	even := []*model.Node{
+		mkNode(t, 0, 4000, []int64{500}, 1),
+		mkNode(t, 1, 4000, []int64{500}, 1),
+	}
+	if Imbalance(even) != 0 {
+		t.Fatal("even load imbalance not 0")
+	}
+	skewed := []*model.Node{
+		mkNode(t, 0, 4000, []int64{500, 500, 500, 500}, 4),
+		mkNode(t, 1, 4000, nil, 0),
+	}
+	// Loads 4,0: mean 2, stddev 2, CV 1.
+	if got := Imbalance(skewed); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("skewed imbalance %v, want 1", got)
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	n0 := mkNode(t, 0, 4000, []int64{500, 500}, 2)
+	n1 := mkNode(t, 1, 4000, []int64{500}, 1)
+	n2 := mkNode(t, 2, 3000, []int64{500}, 1)
+	nodes := []*model.Node{n0, n1, n2}
+
+	// n1 and n2 tie on running=1; n1 has larger AvailableArea (3500).
+	if got := LeastLoaded(nodes, nil); got != n1 {
+		t.Fatalf("LeastLoaded = %v", got)
+	}
+	// Filter n1 out: n2 wins.
+	if got := LeastLoaded(nodes, func(n *model.Node) bool { return n.No != 1 }); got != n2 {
+		t.Fatalf("filtered LeastLoaded = %v", got)
+	}
+	// Nothing passes.
+	if got := LeastLoaded(nodes, func(*model.Node) bool { return false }); got != nil {
+		t.Fatalf("empty filter returned %v", got)
+	}
+	// Full tie (same running, same avail): lowest node number.
+	a := mkNode(t, 5, 4000, []int64{500}, 1)
+	b := mkNode(t, 3, 4000, []int64{500}, 1)
+	if got := LeastLoaded([]*model.Node{a, b}, nil); got != b {
+		t.Fatalf("tie-break returned node %d, want 3", got.No)
+	}
+}

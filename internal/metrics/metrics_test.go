@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComputeTableI(t *testing.T) {
+	c := &Counters{
+		TotalNodes:        200,
+		TotalConfigs:      50,
+		GeneratedTasks:    1000,
+		CompletedTasks:    900,
+		DiscardedTasks:    100,
+		WastedArea:        500000,
+		SchedulerSearch:   2500000,
+		HousekeepingSteps: 1500000,
+		TaskWaitTime:      9_000_000,
+		TaskRunningTime:   45_000_000,
+		ConfigurationTime: 15000,
+		Reconfigurations:  4000,
+		UsedNodes:         180,
+		SimulationTime:    1_234_567,
+		SusQueuePeak:      321,
+		SusRetries:        777,
+	}
+	r := Compute(c)
+	if r.AvgWastedAreaPerTask != 500 {
+		t.Errorf("AvgWastedAreaPerTask = %v, want 500 (Eq. 7)", r.AvgWastedAreaPerTask)
+	}
+	if r.AvgRunningTimePerTask != 50000 {
+		t.Errorf("AvgRunningTimePerTask = %v, want 50000", r.AvgRunningTimePerTask)
+	}
+	if r.AvgReconfigCountPerNode != 20 {
+		t.Errorf("AvgReconfigCountPerNode = %v, want 20", r.AvgReconfigCountPerNode)
+	}
+	if r.AvgReconfigTimePerTask != 15 {
+		t.Errorf("AvgReconfigTimePerTask = %v, want 15 (Eq. 10)", r.AvgReconfigTimePerTask)
+	}
+	if r.AvgWaitingTimePerTask != 9000 {
+		t.Errorf("AvgWaitingTimePerTask = %v, want 9000 (Eq. 9)", r.AvgWaitingTimePerTask)
+	}
+	if r.AvgSchedulingStepsPerTask != 2500 {
+		t.Errorf("AvgSchedulingStepsPerTask = %v, want 2500", r.AvgSchedulingStepsPerTask)
+	}
+	if r.TotalSchedulerWorkload != 4000000 {
+		t.Errorf("TotalSchedulerWorkload = %v, want 4000000", r.TotalSchedulerWorkload)
+	}
+	if r.TotalDiscardedTasks != 100 || r.DiscardRate != 0.1 {
+		t.Errorf("discards: %d rate %v", r.TotalDiscardedTasks, r.DiscardRate)
+	}
+	if r.TotalUsedNodes != 180 || r.TotalSimulationTime != 1_234_567 {
+		t.Errorf("used/simtime: %d/%d", r.TotalUsedNodes, r.TotalSimulationTime)
+	}
+}
+
+func TestComputeZeroDenominators(t *testing.T) {
+	r := Compute(&Counters{})
+	if r.AvgWastedAreaPerTask != 0 || r.AvgRunningTimePerTask != 0 ||
+		r.AvgReconfigCountPerNode != 0 || r.AvgWaitingTimePerTask != 0 {
+		t.Errorf("zero counters produced non-zero averages: %+v", r)
+	}
+}
+
+func TestAccounted(t *testing.T) {
+	c := &Counters{CompletedTasks: 5, DiscardedTasks: 2, SuspendedTasks: 3, RunningTasks: 1}
+	if c.Accounted() != 11 {
+		t.Errorf("Accounted = %d, want 11", c.Accounted())
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.N() != 0 || r.Variance() != 0 {
+		t.Fatal("empty Running not zeroed")
+	}
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range data {
+		r.Add(v)
+	}
+	if r.N() != 8 || r.Mean() != 5 {
+		t.Errorf("n=%d mean=%v", r.N(), r.Mean())
+	}
+	// Sample variance of the data is 32/7.
+	if math.Abs(r.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance=%v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("min=%v max=%v", r.Min(), r.Max())
+	}
+	if math.Abs(r.StdDev()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("stddev=%v", r.StdDev())
+	}
+}
+
+func TestRunningSingleValue(t *testing.T) {
+	var r Running
+	r.Add(-3)
+	if r.Mean() != -3 || r.Min() != -3 || r.Max() != -3 || r.Variance() != 0 {
+		t.Errorf("single observation: %+v", r)
+	}
+}
+
+// Property: Running mean always lies within [min, max].
+func TestQuickRunningBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		for _, x := range xs {
+			// Skip non-finite and astronomically large inputs: Welford
+			// intermediates (x-mean)^2 overflow beyond ~1e154, which is
+			// far outside any simulator metric's range.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			r.Add(x)
+		}
+		if r.N() == 0 {
+			return true
+		}
+		return r.Mean() >= r.Min()-1e-9 && r.Mean() <= r.Max()+1e-9 && r.Variance() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	counts := h.Counts()
+	for i, c := range counts {
+		if c != 10 {
+			t.Errorf("bucket %d count %d, want 10", i, c)
+		}
+	}
+	// Saturating edges.
+	h.Add(-5)
+	h.Add(1e9)
+	counts = h.Counts()
+	if counts[0] != 11 || counts[9] != 11 {
+		t.Errorf("edge saturation failed: %v", counts)
+	}
+	if h.N() != 102 {
+		t.Errorf("N = %d", h.N())
+	}
+	med := h.Quantile(0.5)
+	if med < 40 || med > 60 {
+		t.Errorf("median estimate %v", med)
+	}
+	if q := h.Quantile(-1); q != h.Quantile(0) {
+		t.Errorf("clamped quantile mismatch: %v", q)
+	}
+	if NewHistogram(0, 10, 5).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+}
+
+func TestHistogramBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram accepted")
+		}
+	}()
+	NewHistogram(10, 10, 5)
+}
+
+func TestSeriesAndFigure(t *testing.T) {
+	var with, without Series
+	with.Name = "with partial configuration"
+	without.Name = "without partial configuration"
+	for i := 1; i <= 3; i++ {
+		with.Add(float64(i*1000), float64(i))
+		without.Add(float64(i*1000), float64(i*2))
+	}
+	fig := Figure{
+		ID: "6a", Title: "Average wasted area per task",
+		XLabel: "Total tasks generated", YLabel: "area units",
+		Series: []Series{without, with},
+	}
+	if s := fig.SeriesByName("with partial configuration"); s == nil || len(s.Points) != 3 {
+		t.Fatal("SeriesByName failed")
+	}
+	if s := fig.SeriesByName("nope"); s != nil {
+		t.Fatal("absent series found")
+	}
+	y, ok := with.YAt(2000)
+	if !ok || y != 2 {
+		t.Fatalf("YAt = %v,%v", y, ok)
+	}
+	if _, ok := with.YAt(999); ok {
+		t.Fatal("YAt hit a missing x")
+	}
+	csv := fig.CSV()
+	if !strings.HasPrefix(csv, "x,without partial configuration,with partial configuration\n") {
+		t.Fatalf("CSV header wrong:\n%s", csv)
+	}
+	if !strings.Contains(csv, "\n2000,4,2\n") {
+		t.Fatalf("CSV row wrong:\n%s", csv)
+	}
+	lines := strings.Count(csv, "\n")
+	if lines != 4 { // header + 3 rows
+		t.Fatalf("CSV has %d lines:\n%s", lines, csv)
+	}
+}
+
+func TestCSVMissingValues(t *testing.T) {
+	a := Series{Name: "a", Points: []Point{{X: 1, Y: 10}, {X: 2, Y: 20}}}
+	b := Series{Name: "b", Points: []Point{{X: 2, Y: 200}}}
+	fig := Figure{ID: "t", Series: []Series{a, b}}
+	csv := fig.CSV()
+	if !strings.Contains(csv, "\n1,10,\n") {
+		t.Fatalf("missing-value row wrong:\n%s", csv)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(100000) != "100000" {
+		t.Errorf("integer formatting: %s", trimFloat(100000))
+	}
+	if trimFloat(1.25) != "1.25" {
+		t.Errorf("fraction formatting: %s", trimFloat(1.25))
+	}
+}

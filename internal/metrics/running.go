@@ -1,0 +1,112 @@
+package metrics
+
+import "math"
+
+// Running accumulates count/mean/variance (Welford) plus min/max of a
+// stream of observations without storing them.
+type Running struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+	everSeen bool
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+	if !r.everSeen || x < r.min {
+		r.min = x
+	}
+	if !r.everSeen || x > r.max {
+		r.max = x
+	}
+	r.everSeen = true
+}
+
+// N returns the observation count.
+func (r *Running) N() int64 { return r.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min and Max return the extremes (0 for an empty accumulator).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation.
+func (r *Running) Max() float64 { return r.max }
+
+// Variance returns the sample variance (n-1 denominator).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Histogram is a fixed-width bucket histogram over [lo, hi); values
+// outside the range land in saturating edge buckets.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int64
+	n       int64
+}
+
+// NewHistogram builds a histogram with the given bucket count.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 || hi <= lo {
+		panic("metrics: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, buckets)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.buckets)) * (x - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.n++
+}
+
+// Counts returns a copy of the bucket counts.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// N returns total observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Quantile returns the approximate q-quantile (bucket midpoint).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.n-1))
+	var cum int64
+	width := (h.hi - h.lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			return h.lo + width*(float64(i)+0.5)
+		}
+	}
+	return h.hi
+}

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PType names the processor type a configuration instantiates
+// (paper Eq. 2 — examples given are multipliers, systolic arrays,
+// soft-core processors such as ρ-VEX, and custom signal processors).
+type PType string
+
+// Predefined processor types used by the synthetic generator. Any
+// string is a valid PType; these just give realistic defaults.
+const (
+	PTypeSoftCore   PType = "softcore-vliw" // ρ-VEX-style parameterisable VLIW
+	PTypeMultiplier PType = "multiplier"
+	PTypeSystolic   PType = "systolic-array"
+	PTypeDSP        PType = "signal-processor"
+	PTypeCrypto     PType = "crypto-engine"
+)
+
+// Config is a processor configuration that can be loaded onto a node
+// region by sending its bitstream (paper Eq. 2):
+//
+//	C_i(ReqArea, Ptype, param, BSize, ConfigTime)
+type Config struct {
+	// No is the configuration number (index in the configurations list).
+	No int
+	// ReqArea is the reconfigurable area the configuration occupies.
+	ReqArea Area
+	// Ptype is the processor type the configuration instantiates.
+	Ptype PType
+	// Params lists architectural attributes of the Ptype (issue
+	// width, ALU/multiplier counts, memory slots, ...).
+	Params []string
+	// BSize is the bitstream file size in bytes; it drives the
+	// optional bitstream-transfer delay model.
+	BSize int64
+	// ConfigTime is the time (in timeticks) to configure a region
+	// with this configuration.
+	ConfigTime int64
+	// RequiredCaps lists hardware capabilities the hosting node must
+	// offer (embedded memory, DSP slices, ... — the node `caps` of
+	// Eq. 1). Empty means any node can host the configuration.
+	RequiredCaps []string
+}
+
+// Validate reports whether the configuration is well-formed.
+func (c *Config) Validate() error {
+	if c.ReqArea <= 0 {
+		return fmt.Errorf("model: config %d has non-positive ReqArea %d", c.No, c.ReqArea)
+	}
+	if c.ConfigTime < 0 {
+		return fmt.Errorf("model: config %d has negative ConfigTime %d", c.No, c.ConfigTime)
+	}
+	if c.BSize < 0 {
+		return fmt.Errorf("model: config %d has negative BSize %d", c.No, c.BSize)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (c *Config) String() string {
+	return fmt.Sprintf("C%d(%s area=%d cfgTime=%d params=[%s])",
+		c.No, c.Ptype, c.ReqArea, c.ConfigTime, strings.Join(c.Params, ","))
+}

@@ -1,0 +1,297 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by node mutations.
+var (
+	// ErrInsufficientArea: the configuration does not fit in the
+	// node's AvailableArea.
+	ErrInsufficientArea = errors.New("model: insufficient available area")
+	// ErrEntryBusy: the targeted region still runs a task.
+	ErrEntryBusy = errors.New("model: entry is busy")
+	// ErrEntryForeign: the entry does not belong to this node.
+	ErrEntryForeign = errors.New("model: entry belongs to another node")
+	// ErrTaskNotHere: the task is not running on this node.
+	ErrTaskNotHere = errors.New("model: task not running on this node")
+	// ErrFullModeViolation: a second configuration/task was pushed to
+	// a node operating in full-reconfiguration mode.
+	ErrFullModeViolation = errors.New("model: node in full mode already holds a configuration")
+	// ErrCapsMismatch: the node lacks a capability the configuration
+	// requires.
+	ErrCapsMismatch = errors.New("model: node lacks required capability")
+)
+
+// Node is a reconfigurable processing node (paper Eq. 1):
+//
+//	Node_i(TotalArea, AvailableArea, C, family, caps, state)
+//
+// Its config-task-pair list tracks the resident configurations and
+// the tasks running on them (Fig. 3), and AvailableArea always obeys
+// Eq. 4: TotalArea − Σ ReqArea of resident configurations.
+type Node struct {
+	// No is the node number.
+	No int
+	// TotalArea is the node's total reconfigurable area.
+	TotalArea Area
+	// AvailableArea is the remaining unconfigured area (Eq. 4).
+	AvailableArea Area
+	// Family groups compatible nodes sharing resources/performance.
+	Family string
+	// Caps lists extra capabilities (embedded memory, DSP slices,
+	// configuration bandwidth, ...).
+	Caps []string
+	// Entries is the config-task-pair list (Fig. 3).
+	Entries []*Entry
+	// ReconfigCount counts bitstream sends to this node.
+	ReconfigCount int64
+	// NetworkDelay is the node's communication latency in timeticks
+	// (the t_comm charged to tasks sent here).
+	NetworkDelay int64
+	// PartialMode: when false the node behaves like a classic
+	// full-reconfiguration FPGA — at most one resident configuration
+	// and one task ("one node-one task mapping").
+	PartialMode bool
+}
+
+// NewNode returns a blank node with the given geometry.
+func NewNode(no int, totalArea Area, partial bool) *Node {
+	return &Node{
+		No:            no,
+		TotalArea:     totalArea,
+		AvailableArea: totalArea,
+		Family:        "virtex-sim",
+		PartialMode:   partial,
+	}
+}
+
+// State derives the node status (paper Eq. 1 `state` plus the blank
+// distinction used by the scheduling algorithm in §V).
+func (n *Node) State() NodeState {
+	if len(n.Entries) == 0 {
+		return StateBlank
+	}
+	for _, e := range n.Entries {
+		if e.Task != nil {
+			return StateBusy
+		}
+	}
+	return StateIdle
+}
+
+// Blank reports whether the node holds no configurations.
+func (n *Node) Blank() bool { return len(n.Entries) == 0 }
+
+// PartiallyBlank reports whether the node holds at least one
+// configuration and still has unconfigured area left.
+func (n *Node) PartiallyBlank() bool {
+	return len(n.Entries) > 0 && n.AvailableArea > 0
+}
+
+// RunningTasks counts tasks currently executing on the node.
+func (n *Node) RunningTasks() int {
+	c := 0
+	for _, e := range n.Entries {
+		if e.Task != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// IdleEntries returns the entries whose region is configured but idle.
+func (n *Node) IdleEntries() []*Entry {
+	var out []*Entry
+	for _, e := range n.Entries {
+		if e.Task == nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// HasCaps reports whether the node offers every listed capability
+// (subset test against the node's caps, Eq. 1).
+func (n *Node) HasCaps(required []string) bool {
+	for _, want := range required {
+		found := false
+		for _, have := range n.Caps {
+			if have == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// FindEntryWithConfig returns an entry resident with configuration
+// cfgNo, preferring idle entries; nil if the configuration is not
+// resident.
+func (n *Node) FindEntryWithConfig(cfgNo int) *Entry {
+	var busy *Entry
+	for _, e := range n.Entries {
+		if e.Config.No == cfgNo {
+			if e.Task == nil {
+				return e
+			}
+			busy = e
+		}
+	}
+	return busy
+}
+
+// SendBitstream adds configuration cfg to the node (paper method):
+// it creates a new idle config-task entry, deducts the required area
+// from AvailableArea and increments the reconfiguration count. In
+// full mode the node must be blank first; the node must offer every
+// capability the configuration requires.
+func (n *Node) SendBitstream(cfg *Config) (*Entry, error) {
+	if !n.PartialMode && len(n.Entries) > 0 {
+		return nil, ErrFullModeViolation
+	}
+	if !n.HasCaps(cfg.RequiredCaps) {
+		return nil, fmt.Errorf("%w: node %d lacks caps for config %d",
+			ErrCapsMismatch, n.No, cfg.No)
+	}
+	if cfg.ReqArea > n.AvailableArea {
+		return nil, fmt.Errorf("%w: node %d has %d free, config %d needs %d",
+			ErrInsufficientArea, n.No, n.AvailableArea, cfg.No, cfg.ReqArea)
+	}
+	e := &Entry{Config: cfg, Node: n}
+	n.Entries = append(n.Entries, e)
+	n.AvailableArea -= cfg.ReqArea
+	n.ReconfigCount++
+	return e, nil
+}
+
+// MakeNodeBlank removes all configurations (paper method). Every
+// entry must be idle; the freed area returns to AvailableArea so that
+// AvailableArea == TotalArea afterwards. It returns the removed
+// entries so callers (the resource lists) can unlink them.
+func (n *Node) MakeNodeBlank() ([]*Entry, error) {
+	for _, e := range n.Entries {
+		if e.Task != nil {
+			return nil, fmt.Errorf("%w: node %d entry C%d runs T%d",
+				ErrEntryBusy, n.No, e.Config.No, e.Task.No)
+		}
+	}
+	removed := n.Entries
+	n.Entries = nil
+	n.AvailableArea = n.TotalArea
+	return removed, nil
+}
+
+// MakeNodePartiallyBlank removes the given idle entries from the node
+// (paper method), readjusting AvailableArea. All entries must belong
+// to this node and be idle.
+func (n *Node) MakeNodePartiallyBlank(victims []*Entry) error {
+	for _, v := range victims {
+		if v.Node != n {
+			return ErrEntryForeign
+		}
+		if v.Task != nil {
+			return fmt.Errorf("%w: node %d entry C%d runs T%d",
+				ErrEntryBusy, n.No, v.Config.No, v.Task.No)
+		}
+	}
+	for _, v := range victims {
+		if !n.removeEntry(v) {
+			return fmt.Errorf("model: entry C%d not found on node %d", v.Config.No, n.No)
+		}
+		n.AvailableArea += v.Config.ReqArea
+	}
+	return nil
+}
+
+// removeEntry unlinks e from the entries slice; reports success.
+func (n *Node) removeEntry(e *Entry) bool {
+	for i, cur := range n.Entries {
+		if cur == e {
+			n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AddTaskToNode starts task on the region entry (paper method). The
+// entry must be idle and resident on this node.
+func (n *Node) AddTaskToNode(e *Entry, task *Task) error {
+	if e.Node != n {
+		return ErrEntryForeign
+	}
+	if e.Task != nil {
+		return fmt.Errorf("%w: node %d entry C%d runs T%d",
+			ErrEntryBusy, n.No, e.Config.No, e.Task.No)
+	}
+	if !n.PartialMode && n.RunningTasks() > 0 {
+		return ErrFullModeViolation
+	}
+	e.Task = task
+	task.AssignedConfig = e.Config.No
+	task.Status = TaskRunning
+	return nil
+}
+
+// RemoveTaskFromNode detaches task from its region (paper method) and
+// returns the now-idle entry. The configuration stays resident.
+func (n *Node) RemoveTaskFromNode(task *Task) (*Entry, error) {
+	for _, e := range n.Entries {
+		if e.Task == task {
+			e.Task = nil
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: task %d on node %d", ErrTaskNotHere, task.No, n.No)
+}
+
+// CheckInvariants verifies Eq. 4 and mode constraints; it returns the
+// first violation found or nil. Used by tests and the engine's debug
+// mode.
+func (n *Node) CheckInvariants() error {
+	var used Area
+	for _, e := range n.Entries {
+		if e.Node != n {
+			return fmt.Errorf("node %d: entry %v has wrong owner", n.No, e)
+		}
+		if e.Config == nil {
+			return fmt.Errorf("node %d: entry with nil config", n.No)
+		}
+		used += e.Config.ReqArea
+		if e.Task != nil && e.Task.Status != TaskRunning {
+			return fmt.Errorf("node %d: entry C%d holds task T%d in state %s",
+				n.No, e.Config.No, e.Task.No, e.Task.Status)
+		}
+		if e.InIdle && e.InBusy {
+			return fmt.Errorf("node %d: entry C%d in both idle and busy lists", n.No, e.Config.No)
+		}
+	}
+	if n.AvailableArea != n.TotalArea-used {
+		return fmt.Errorf("node %d: Eq.4 violated: available %d != total %d - used %d",
+			n.No, n.AvailableArea, n.TotalArea, used)
+	}
+	if n.AvailableArea < 0 || n.AvailableArea > n.TotalArea {
+		return fmt.Errorf("node %d: AvailableArea %d out of [0,%d]", n.No, n.AvailableArea, n.TotalArea)
+	}
+	if !n.PartialMode {
+		if len(n.Entries) > 1 {
+			return fmt.Errorf("node %d: full mode with %d configurations", n.No, len(n.Entries))
+		}
+		if n.RunningTasks() > 1 {
+			return fmt.Errorf("node %d: full mode with %d running tasks", n.No, n.RunningTasks())
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string {
+	return fmt.Sprintf("N%d(%s total=%d avail=%d cfgs=%d tasks=%d)",
+		n.No, n.State(), n.TotalArea, n.AvailableArea, len(n.Entries), n.RunningTasks())
+}

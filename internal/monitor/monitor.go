@@ -1,0 +1,113 @@
+// Package monitor implements DReAMSim's monitoring module (paper
+// §III, core subsystem): point-in-time snapshots of node states,
+// fabric occupancy and per-configuration residency that other modules
+// (and users) consult — "the current states of different nodes can be
+// checked by the monitoring module".
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dreamsim/internal/model"
+	"dreamsim/internal/resinfo"
+)
+
+// ConfigCensus counts the resident regions of one configuration.
+type ConfigCensus struct {
+	ConfigNo    int
+	IdleRegions int
+	BusyRegions int
+}
+
+// Snapshot is a consistent view of the system at one timetick.
+type Snapshot struct {
+	Time int64
+
+	// Node-state census.
+	BlankNodes int
+	IdleNodes  int
+	BusyNodes  int
+
+	// Task census.
+	RunningTasks int
+
+	// Fabric occupancy. WastedArea is the instantaneous Eq. 6 value:
+	// Σ AvailableArea over nodes holding at least one configuration.
+	TotalArea      int64
+	ConfiguredArea int64
+	WastedArea     int64
+
+	// PerConfig is the per-configuration residency census, ordered by
+	// configuration number (only configurations with resident regions
+	// appear).
+	PerConfig []ConfigCensus
+}
+
+// Take captures a snapshot of the manager's state at time now.
+func Take(m *resinfo.Manager, now int64) Snapshot {
+	s := Snapshot{Time: now}
+	census := map[int]*ConfigCensus{}
+	for _, n := range m.Nodes() {
+		s.TotalArea += n.TotalArea
+		switch n.State() {
+		case model.StateBlank:
+			s.BlankNodes++
+		case model.StateIdle:
+			s.IdleNodes++
+		case model.StateBusy:
+			s.BusyNodes++
+		}
+		if !n.Blank() {
+			s.WastedArea += n.AvailableArea // Eq. 6
+		}
+		for _, e := range n.Entries {
+			s.ConfiguredArea += e.Config.ReqArea
+			c := census[e.Config.No]
+			if c == nil {
+				c = &ConfigCensus{ConfigNo: e.Config.No}
+				census[e.Config.No] = c
+			}
+			if e.Idle() {
+				c.IdleRegions++
+			} else {
+				c.BusyRegions++
+				s.RunningTasks++
+			}
+		}
+	}
+	for _, c := range census {
+		s.PerConfig = append(s.PerConfig, *c)
+	}
+	sort.Slice(s.PerConfig, func(i, j int) bool {
+		return s.PerConfig[i].ConfigNo < s.PerConfig[j].ConfigNo
+	})
+	return s
+}
+
+// Utilization returns the fraction of total fabric currently
+// configured, in [0,1].
+func (s Snapshot) Utilization() float64 {
+	if s.TotalArea == 0 {
+		return 0
+	}
+	return float64(s.ConfiguredArea) / float64(s.TotalArea)
+}
+
+// String renders a one-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("t=%d nodes[blank=%d idle=%d busy=%d] tasks=%d util=%.1f%% wasted=%d",
+		s.Time, s.BlankNodes, s.IdleNodes, s.BusyNodes, s.RunningTasks,
+		100*s.Utilization(), s.WastedArea)
+}
+
+// Table renders the per-configuration census as a fixed-width table.
+func (s Snapshot) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-6s %-6s\n", "config", "idle", "busy")
+	for _, c := range s.PerConfig {
+		fmt.Fprintf(&b, "C%-7d %-6d %-6d\n", c.ConfigNo, c.IdleRegions, c.BusyRegions)
+	}
+	return b.String()
+}

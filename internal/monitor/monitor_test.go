@@ -1,0 +1,100 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"dreamsim/internal/metrics"
+	"dreamsim/internal/model"
+	"dreamsim/internal/resinfo"
+)
+
+func rig(t *testing.T) *resinfo.Manager {
+	t.Helper()
+	nodes := []*model.Node{
+		model.NewNode(0, 3000, true),
+		model.NewNode(1, 2000, true),
+		model.NewNode(2, 4000, true),
+	}
+	configs := []*model.Config{
+		{No: 0, ReqArea: 1000, ConfigTime: 10},
+		{No: 1, ReqArea: 500, ConfigTime: 10},
+	}
+	m, err := resinfo.New(nodes, configs, &metrics.Counters{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTakeEmptySystem(t *testing.T) {
+	m := rig(t)
+	s := Take(m, 42)
+	if s.Time != 42 || s.BlankNodes != 3 || s.IdleNodes != 0 || s.BusyNodes != 0 {
+		t.Fatalf("empty snapshot wrong: %+v", s)
+	}
+	if s.WastedArea != 0 || s.ConfiguredArea != 0 || s.TotalArea != 9000 {
+		t.Fatalf("area accounting wrong: %+v", s)
+	}
+	if s.Utilization() != 0 || s.RunningTasks != 0 || len(s.PerConfig) != 0 {
+		t.Fatalf("empty system census wrong: %+v", s)
+	}
+}
+
+func TestTakePopulatedSystem(t *testing.T) {
+	m := rig(t)
+	n0, n1 := m.Nodes()[0], m.Nodes()[1]
+	e0, _ := m.Configure(n0, m.Configs()[0]) // 1000 on node0
+	_, _ = m.Configure(n0, m.Configs()[1])   // 500 on node0
+	_, _ = m.Configure(n1, m.Configs()[1])   // 500 on node1
+	task := model.NewTask(1, 1000, 0, 100, 0)
+	_ = m.StartTask(e0, task)
+
+	s := Take(m, 100)
+	if s.BlankNodes != 1 || s.IdleNodes != 1 || s.BusyNodes != 1 {
+		t.Fatalf("node census: %+v", s)
+	}
+	if s.RunningTasks != 1 {
+		t.Fatalf("running tasks %d", s.RunningTasks)
+	}
+	// Eq. 6: wasted = avail on configured nodes = (3000-1500)+(2000-500).
+	if s.WastedArea != 1500+1500 {
+		t.Fatalf("wasted area %d, want 3000", s.WastedArea)
+	}
+	if s.ConfiguredArea != 2000 {
+		t.Fatalf("configured area %d", s.ConfiguredArea)
+	}
+	if got := s.Utilization(); got < 0.22 || got > 0.23 { // 2000/9000
+		t.Fatalf("utilization %v", got)
+	}
+	if len(s.PerConfig) != 2 {
+		t.Fatalf("per-config census: %+v", s.PerConfig)
+	}
+	// Ordered by config number.
+	if s.PerConfig[0].ConfigNo != 0 || s.PerConfig[0].BusyRegions != 1 || s.PerConfig[0].IdleRegions != 0 {
+		t.Fatalf("C0 census: %+v", s.PerConfig[0])
+	}
+	if s.PerConfig[1].ConfigNo != 1 || s.PerConfig[1].IdleRegions != 2 {
+		t.Fatalf("C1 census: %+v", s.PerConfig[1])
+	}
+}
+
+func TestSnapshotRendering(t *testing.T) {
+	m := rig(t)
+	_, _ = m.Configure(m.Nodes()[0], m.Configs()[0])
+	s := Take(m, 7)
+	if !strings.Contains(s.String(), "t=7") {
+		t.Fatalf("String(): %s", s)
+	}
+	tbl := s.Table()
+	if !strings.Contains(tbl, "config") || !strings.Contains(tbl, "C0") {
+		t.Fatalf("Table():\n%s", tbl)
+	}
+}
+
+func TestUtilizationZeroTotal(t *testing.T) {
+	var s Snapshot
+	if s.Utilization() != 0 {
+		t.Fatal("zero-area utilization not 0")
+	}
+}

@@ -1,0 +1,155 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"dreamsim/internal/metrics"
+	"dreamsim/internal/resinfo"
+)
+
+// Sample is one light-weight time-series point recorded during a run.
+type Sample struct {
+	Time        int64
+	BlankNodes  int
+	IdleNodes   int
+	BusyNodes   int
+	Running     int
+	Suspended   int
+	WastedArea  int64 // Eq. 6 instantaneous value
+	Utilization float64
+}
+
+// Recorder collects periodic samples of system state — the
+// monitoring module's view over time. Observe is cheap relative to a
+// full Snapshot: one pass over the nodes.
+type Recorder struct {
+	// Every is the sampling stride: a sample is taken on every
+	// Every-th Observe call (minimum 1).
+	Every int
+
+	calls   int
+	samples []Sample
+}
+
+// NewRecorder returns a recorder sampling every stride-th observation.
+func NewRecorder(stride int) *Recorder {
+	if stride < 1 {
+		stride = 1
+	}
+	return &Recorder{Every: stride}
+}
+
+// Observe possibly records a sample of the manager's state.
+func (r *Recorder) Observe(m *resinfo.Manager, now int64, suspended int) {
+	r.calls++
+	if (r.calls-1)%r.Every != 0 {
+		return
+	}
+	s := Sample{Time: now, Suspended: suspended}
+	var total, used int64
+	for _, n := range m.Nodes() {
+		total += n.TotalArea
+		used += n.TotalArea - n.AvailableArea
+		running := n.RunningTasks()
+		s.Running += running
+		switch {
+		case n.Blank():
+			s.BlankNodes++
+		case running == 0:
+			s.IdleNodes++
+		default:
+			s.BusyNodes++
+			s.WastedArea += n.AvailableArea
+		}
+		if !n.Blank() && running == 0 {
+			s.WastedArea += n.AvailableArea
+		}
+	}
+	if total > 0 {
+		s.Utilization = float64(used) / float64(total)
+	}
+	r.samples = append(r.samples, s)
+}
+
+// Samples returns the recorded series.
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Len returns the number of recorded samples.
+func (r *Recorder) Len() int { return len(r.samples) }
+
+// UtilizationSeries returns fabric utilisation over time.
+func (r *Recorder) UtilizationSeries() metrics.Series {
+	s := metrics.Series{Name: "utilization"}
+	for _, p := range r.samples {
+		s.Add(float64(p.Time), p.Utilization)
+	}
+	return s
+}
+
+// QueueSeries returns suspension-queue depth over time.
+func (r *Recorder) QueueSeries() metrics.Series {
+	s := metrics.Series{Name: "suspended"}
+	for _, p := range r.samples {
+		s.Add(float64(p.Time), float64(p.Suspended))
+	}
+	return s
+}
+
+// sparkGlyphs maps a [0,1] level onto a bar glyph.
+var sparkGlyphs = []byte(" .:-=+*#%@")
+
+// Timeline renders utilisation and queue depth as width-column text
+// sparklines (each column aggregates the mean of its sample bucket).
+func (r *Recorder) Timeline(width int) string {
+	if width < 1 {
+		width = 60
+	}
+	if len(r.samples) == 0 {
+		return "(no samples)\n"
+	}
+	util := make([]float64, width)
+	queue := make([]float64, width)
+	counts := make([]int, width)
+	maxQ := 1.0
+	t0 := r.samples[0].Time
+	t1 := r.samples[len(r.samples)-1].Time
+	span := t1 - t0
+	if span < 1 {
+		span = 1
+	}
+	for _, s := range r.samples {
+		col := int(int64(width-1) * (s.Time - t0) / span)
+		util[col] += s.Utilization
+		queue[col] += float64(s.Suspended)
+		counts[col]++
+		if q := float64(s.Suspended); q > maxQ {
+			maxQ = q
+		}
+	}
+	var ub, qb strings.Builder
+	for i := 0; i < width; i++ {
+		if counts[i] == 0 {
+			ub.WriteByte(' ')
+			qb.WriteByte(' ')
+			continue
+		}
+		u := util[i] / float64(counts[i])
+		q := queue[i] / float64(counts[i]) / maxQ
+		ub.WriteByte(glyph(u))
+		qb.WriteByte(glyph(q))
+	}
+	return fmt.Sprintf("fabric utilization |%s|\nsuspension queue   |%s| (peak %d)\nticks %d..%d, %d samples\n",
+		ub.String(), qb.String(), int(maxQ), t0, t1, len(r.samples))
+}
+
+// glyph maps level in [0,1] to a density character.
+func glyph(level float64) byte {
+	if level < 0 {
+		level = 0
+	}
+	if level > 1 {
+		level = 1
+	}
+	return sparkGlyphs[int(level*float64(len(sparkGlyphs)-1)+0.5)]
+}

@@ -1,0 +1,73 @@
+// Package netmodel implements DReAMSim's communication model: the
+// per-node network delay (the NetworkDelay node attribute, drawn from
+// the NWDLow..NWDHigh range in the paper's DreamSim class) that is
+// charged to tasks as t_comm in Eq. 8, and an optional
+// bitstream-transfer delay derived from a configuration's BSize and a
+// link bandwidth (an extension the paper's model carries the fields
+// for but does not exercise).
+package netmodel
+
+import (
+	"fmt"
+
+	"dreamsim/internal/model"
+	"dreamsim/internal/rng"
+)
+
+// Model computes communication delays for a simulation run.
+type Model struct {
+	// DelayLow/DelayHigh bound each node's base network delay
+	// (timeticks), sampled uniformly per node.
+	DelayLow, DelayHigh int64
+	// BitstreamBandwidth, when positive, adds BSize/BitstreamBandwidth
+	// ticks to the configuration delay of every bitstream send
+	// (bytes per timetick). Zero disables the term (paper behaviour).
+	BitstreamBandwidth int64
+	// DataBandwidth, when positive, adds Task.Data/DataBandwidth ticks
+	// to t_comm for task input shipping. Zero disables (paper
+	// behaviour: t_comm is the node delay only).
+	DataBandwidth int64
+}
+
+// Validate reports whether the model parameters are coherent.
+func (m *Model) Validate() error {
+	if m.DelayLow < 0 || m.DelayHigh < m.DelayLow {
+		return fmt.Errorf("netmodel: invalid delay range [%d,%d]", m.DelayLow, m.DelayHigh)
+	}
+	if m.BitstreamBandwidth < 0 || m.DataBandwidth < 0 {
+		return fmt.Errorf("netmodel: negative bandwidth")
+	}
+	return nil
+}
+
+// AssignDelays draws and installs a network delay for every node.
+func (m *Model) AssignDelays(r *rng.RNG, nodes []*model.Node) {
+	for _, n := range nodes {
+		n.NetworkDelay = r.Int64Range(m.DelayLow, m.DelayHigh)
+	}
+}
+
+// CommDelay returns t_comm for sending task to node.
+func (m *Model) CommDelay(node *model.Node, task *model.Task) int64 {
+	d := node.NetworkDelay
+	if m.DataBandwidth > 0 && task.Data > 0 {
+		d += ceilDiv(task.Data, m.DataBandwidth)
+	}
+	return d
+}
+
+// ConfigDelay returns the delay of loading cfg onto node: the
+// configuration's intrinsic ConfigTime plus any bitstream transfer.
+func (m *Model) ConfigDelay(node *model.Node, cfg *model.Config) int64 {
+	d := cfg.ConfigTime
+	if m.BitstreamBandwidth > 0 && cfg.BSize > 0 {
+		d += ceilDiv(cfg.BSize, m.BitstreamBandwidth)
+	}
+	_ = node
+	return d
+}
+
+// ceilDiv returns ceil(a/b) for positive a, b.
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}

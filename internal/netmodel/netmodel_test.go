@@ -1,0 +1,86 @@
+package netmodel
+
+import (
+	"testing"
+
+	"dreamsim/internal/model"
+	"dreamsim/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	ok := Model{DelayLow: 1, DelayHigh: 5}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Model{
+		{DelayLow: -1, DelayHigh: 5},
+		{DelayLow: 5, DelayHigh: 1},
+		{BitstreamBandwidth: -1},
+		{DataBandwidth: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestAssignDelays(t *testing.T) {
+	m := Model{DelayLow: 3, DelayHigh: 9}
+	nodes := []*model.Node{
+		model.NewNode(0, 1000, true),
+		model.NewNode(1, 1000, true),
+		model.NewNode(2, 1000, true),
+	}
+	m.AssignDelays(rng.New(1), nodes)
+	for _, n := range nodes {
+		if n.NetworkDelay < 3 || n.NetworkDelay > 9 {
+			t.Fatalf("node %d delay %d out of range", n.No, n.NetworkDelay)
+		}
+	}
+}
+
+func TestCommDelay(t *testing.T) {
+	n := model.NewNode(0, 1000, true)
+	n.NetworkDelay = 7
+	task := model.NewTask(0, 500, 1, 100, 0)
+	task.Data = 1000
+
+	base := Model{}
+	if got := base.CommDelay(n, task); got != 7 {
+		t.Fatalf("base comm delay %d, want 7", got)
+	}
+	withData := Model{DataBandwidth: 300}
+	// 7 + ceil(1000/300)=4 -> 11
+	if got := withData.CommDelay(n, task); got != 11 {
+		t.Fatalf("data comm delay %d, want 11", got)
+	}
+	task.Data = 0
+	if got := withData.CommDelay(n, task); got != 7 {
+		t.Fatalf("zero-data comm delay %d, want 7", got)
+	}
+}
+
+func TestConfigDelay(t *testing.T) {
+	n := model.NewNode(0, 1000, true)
+	cfg := &model.Config{No: 1, ReqArea: 500, ConfigTime: 15, BSize: 64000}
+	base := Model{}
+	if got := base.ConfigDelay(n, cfg); got != 15 {
+		t.Fatalf("base config delay %d, want 15", got)
+	}
+	withBS := Model{BitstreamBandwidth: 8000}
+	// 15 + ceil(64000/8000)=8 -> 23
+	if got := withBS.ConfigDelay(n, cfg); got != 23 {
+		t.Fatalf("bitstream config delay %d, want 23", got)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{10, 5, 2}, {11, 5, 3}, {1, 5, 1}, {5, 5, 1},
+	}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Package plot renders simple ASCII line charts for the figure
+// harness: two or more series over a shared x grid, drawn into a
+// fixed-size character canvas with axis labels. It exists so the
+// sweep tool can show paper-figure shapes directly in a terminal
+// without any plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name  string
+	Glyph byte
+	X, Y  []float64
+}
+
+// Chart is a renderable ASCII chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot-area columns (default 60)
+	Height int // plot-area rows (default 16)
+	Series []Series
+}
+
+// Render draws the chart. Series points are mapped linearly onto the
+// canvas; later series overdraw earlier ones where they collide.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		return c.Title + "\n(no data)\n"
+	}
+	if minY > 0 {
+		minY = 0 // anchor at zero like the paper's axes
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	canvas := make([][]byte, h)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range c.Series {
+		g := s.Glyph
+		if g == 0 {
+			g = '*'
+		}
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			col := int(float64(w-1) * (s.X[i] - minX) / (maxX - minX))
+			row := h - 1 - int(float64(h-1)*(s.Y[i]-minY)/(maxY-minY))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				canvas[row][col] = g
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range canvas {
+		yVal := maxY - (maxY-minY)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%10s |%s|\n", shortNum(yVal), string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", w-len(shortNum(maxX)), shortNum(minX), shortNum(maxX))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for _, s := range c.Series {
+		g := s.Glyph
+		if g == 0 {
+			g = '*'
+		}
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", g, s.Name)
+	}
+	return b.String()
+}
+
+// shortNum formats axis labels compactly.
+func shortNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.3ge", v)
+	case av >= 1e6:
+		return fmt.Sprintf("%.4gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.4gk", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

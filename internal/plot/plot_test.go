@@ -1,0 +1,76 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "demo",
+		XLabel: "tasks",
+		YLabel: "ticks",
+		Series: []Series{
+			{Name: "a", Glyph: 'o', X: []float64{0, 50, 100}, Y: []float64{0, 5, 10}},
+			{Name: "b", Glyph: '+', X: []float64{0, 50, 100}, Y: []float64{10, 5, 0}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"demo", "o = a", "+ = b", "x: tasks", "y: ticks", "o", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Default geometry: 16 canvas rows plus frame lines.
+	if lines := strings.Count(out, "\n"); lines < 18 {
+		t.Errorf("too few lines (%d):\n%s", lines, out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "empty"}.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart rendering:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") { // default glyph
+		t.Fatalf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderCustomGeometry(t *testing.T) {
+	c := Chart{
+		Width: 20, Height: 5,
+		Series: []Series{{Name: "s", X: []float64{0, 10}, Y: []float64{0, 100}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, strings.Repeat("-", 20)) {
+		t.Fatalf("frame width wrong:\n%s", out)
+	}
+}
+
+func TestShortNum(t *testing.T) {
+	cases := map[float64]string{
+		5:       "5",
+		1500:    "1.5", // rendered as 1.5 via %.3g? No: 1500 -> integer path
+		2500000: "2.5M",
+		30000:   "30k",
+	}
+	// 1500 is integral and below 1e4: integer path.
+	cases[1500] = "1500"
+	for in, want := range cases {
+		if got := shortNum(in); got != want {
+			t.Errorf("shortNum(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := shortNum(0.125); got != "0.125" {
+		t.Errorf("shortNum(0.125) = %q", got)
+	}
+	if got := shortNum(3e9); !strings.Contains(got, "e") {
+		t.Errorf("shortNum(3e9) = %q", got)
+	}
+}

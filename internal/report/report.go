@@ -1,0 +1,159 @@
+// Package report implements DReAMSim's output subsystem (paper §III):
+// the XML simulation report accumulating the statistics of each run,
+// plus fixed-width text rendering of the Table I metrics and CSV
+// emission for figure series.
+package report
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dreamsim/internal/metrics"
+)
+
+// Param is one simulation parameter echoed into the report.
+type Param struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// Metric is one Table I metric row.
+type Metric struct {
+	Name  string  `xml:"name,attr"`
+	Value float64 `xml:"value,attr"`
+}
+
+// Phase is one scheduling-phase placement counter.
+type Phase struct {
+	Name  string `xml:"name,attr"`
+	Count int64  `xml:"count,attr"`
+}
+
+// Simulation is the XML report root (<simulation-report>).
+type Simulation struct {
+	XMLName  xml.Name `xml:"simulation-report"`
+	Scenario string   `xml:"scenario,attr"` // "partial" / "full"
+	Policy   string   `xml:"policy,attr"`
+	Seed     uint64   `xml:"seed,attr"`
+
+	Params  []Param  `xml:"parameters>param"`
+	Metrics []Metric `xml:"metrics>metric"`
+	Phases  []Phase  `xml:"phases>phase"`
+}
+
+// New assembles a Simulation report from a metrics report, the
+// parameter echo and the per-phase placement counts.
+func New(scenario, policy string, seed uint64, params map[string]string,
+	rep metrics.Report, phases map[string]int64) Simulation {
+
+	s := Simulation{Scenario: scenario, Policy: policy, Seed: seed}
+	for _, k := range sortedKeys(params) {
+		s.Params = append(s.Params, Param{Name: k, Value: params[k]})
+	}
+	for _, m := range MetricRows(rep) {
+		s.Metrics = append(s.Metrics, m)
+	}
+	for _, k := range sortedKeysI64(phases) {
+		s.Phases = append(s.Phases, Phase{Name: k, Count: phases[k]})
+	}
+	return s
+}
+
+// MetricRows flattens a metrics.Report into named rows in Table I
+// order.
+func MetricRows(r metrics.Report) []Metric {
+	return []Metric{
+		{"avg_wasted_area_per_task", r.AvgWastedAreaPerTask},
+		{"avg_running_time_per_task", r.AvgRunningTimePerTask},
+		{"avg_reconfig_count_per_node", r.AvgReconfigCountPerNode},
+		{"avg_reconfig_time_per_task", r.AvgReconfigTimePerTask},
+		{"avg_waiting_time_per_task", r.AvgWaitingTimePerTask},
+		{"avg_scheduling_steps_per_task", r.AvgSchedulingStepsPerTask},
+		{"total_discarded_tasks", float64(r.TotalDiscardedTasks)},
+		{"total_scheduler_workload", float64(r.TotalSchedulerWorkload)},
+		{"total_used_nodes", float64(r.TotalUsedNodes)},
+		{"total_simulation_time", float64(r.TotalSimulationTime)},
+	}
+}
+
+// WriteXML serialises the report with indentation and an XML header.
+func WriteXML(w io.Writer, s Simulation) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadXML parses a report previously produced by WriteXML.
+func ReadXML(r io.Reader) (Simulation, error) {
+	var s Simulation
+	if err := xml.NewDecoder(r).Decode(&s); err != nil {
+		return Simulation{}, fmt.Errorf("report: parsing XML: %w", err)
+	}
+	return s, nil
+}
+
+// TableIText renders the Table I metrics as a fixed-width text table.
+func TableIText(r metrics.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %18s\n", "performance metric", "value")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 53))
+	for _, m := range MetricRows(r) {
+		fmt.Fprintf(&b, "%-34s %18s\n", m.Name, compact(m.Value))
+	}
+	return b.String()
+}
+
+// CompareText renders two scenario reports side by side (the paper's
+// with/without-partial comparisons).
+func CompareText(nameA string, a metrics.Report, nameB string, b metrics.Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-34s %18s %18s\n", "performance metric", nameA, nameB)
+	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 72))
+	rowsA, rowsB := MetricRows(a), MetricRows(b)
+	for i := range rowsA {
+		fmt.Fprintf(&sb, "%-34s %18s %18s\n", rowsA[i].Name,
+			compact(rowsA[i].Value), compact(rowsB[i].Value))
+	}
+	return sb.String()
+}
+
+// compact formats a value without trailing decimal noise; values of
+// a million and beyond render in scientific notation like the paper's
+// figure axes.
+func compact(v float64) string {
+	if v >= 1e6 {
+		return fmt.Sprintf("%.4g", v)
+	}
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysI64(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,346 @@
+// Package resinfo implements DReAMSim's resource information manager
+// (paper §III, information subsystem): it owns the node list and the
+// configurations list, maintains the per-configuration idle/busy
+// linked lists and every node's config-task-pair list as nodes change
+// state, and meters each search and housekeeping step into the run's
+// counters exactly as the paper's SearchLength / TotalSimWorkLoad
+// accounting does.
+package resinfo
+
+import (
+	"fmt"
+
+	"dreamsim/internal/metrics"
+	"dreamsim/internal/model"
+	"dreamsim/internal/reslists"
+)
+
+// Manager is the resource information manager. All mutations of node
+// state must flow through it so the idle/busy lists, Eq. 4 area
+// accounting, and the housekeeping counters stay consistent.
+type Manager struct {
+	nodes   []*model.Node
+	configs []*model.Config
+	pairs   map[int]reslists.Pair // config No -> idle/busy lists
+	c       *metrics.Counters
+}
+
+// New builds a manager over the given resources. Config numbers must
+// be unique; the counters receive all metering.
+func New(nodes []*model.Node, configs []*model.Config, counters *metrics.Counters) (*Manager, error) {
+	m := &Manager{
+		nodes:   nodes,
+		configs: configs,
+		pairs:   make(map[int]reslists.Pair, len(configs)),
+		c:       counters,
+	}
+	for _, cfg := range configs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := m.pairs[cfg.No]; dup {
+			return nil, fmt.Errorf("resinfo: duplicate config number %d", cfg.No)
+		}
+		m.pairs[cfg.No] = reslists.NewPair()
+	}
+	counters.TotalNodes = len(nodes)
+	counters.TotalConfigs = len(configs)
+	return m, nil
+}
+
+// Nodes returns the node list (callers must not mutate node state
+// directly; use the Manager's transition methods).
+func (m *Manager) Nodes() []*model.Node { return m.nodes }
+
+// Configs returns the configurations list.
+func (m *Manager) Configs() []*model.Config { return m.configs }
+
+// Counters exposes the metered counters.
+func (m *Manager) Counters() *metrics.Counters { return m.c }
+
+// Pair returns the idle/busy list pair of configuration cfgNo.
+// It panics for unknown configurations — those are scheduler bugs.
+func (m *Manager) Pair(cfgNo int) reslists.Pair {
+	p, ok := m.pairs[cfgNo]
+	if !ok {
+		panic(fmt.Sprintf("resinfo: unknown config %d", cfgNo))
+	}
+	return p
+}
+
+// search charges n scheduler search steps (the paper's SL counter,
+// Alg. 1; TotalSchedulerWorkload sums these with housekeeping).
+func (m *Manager) search(n uint64) {
+	m.c.SchedulerSearch += n
+}
+
+// housekeep charges n housekeeping steps.
+func (m *Manager) housekeep(n uint64) {
+	m.c.HousekeepingSteps += n
+}
+
+// ChargeSearch lets scheduling policies meter list walks they run
+// themselves (placement variants iterate the idle lists directly).
+func (m *Manager) ChargeSearch(n uint64) { m.search(n) }
+
+// ChargeHousekeeping lets the core meter queue maintenance work.
+func (m *Manager) ChargeHousekeeping(n uint64) { m.housekeep(n) }
+
+// FindPreferredConfig searches the configurations list for cfgNo
+// (paper method; deliberately a metered linear search — "currently a
+// simple linear search is employed"). It returns nil when the
+// preferred configuration does not exist.
+func (m *Manager) FindPreferredConfig(cfgNo int) *model.Config {
+	var steps uint64
+	for _, cfg := range m.configs {
+		steps++
+		if cfg.No == cfgNo {
+			m.search(steps)
+			return cfg
+		}
+	}
+	m.search(steps)
+	return nil
+}
+
+// FindClosestConfig searches for C_ClosestMatch: the configuration
+// whose ReqArea is minimal among all configurations with ReqArea ≥
+// neededArea (paper §IV-C). It returns nil when no configuration is
+// large enough.
+func (m *Manager) FindClosestConfig(neededArea model.Area) *model.Config {
+	var best *model.Config
+	var steps uint64
+	for _, cfg := range m.configs {
+		steps++
+		if cfg.ReqArea >= neededArea && (best == nil || cfg.ReqArea < best.ReqArea) {
+			best = cfg
+		}
+	}
+	m.search(steps)
+	return best
+}
+
+// Configure sends the bitstream of cfg to node (paper SendBitstream):
+// the new idle region is linked into cfg's idle list and the
+// reconfiguration counters and Eq. 10 configuration time accumulate.
+func (m *Manager) Configure(node *model.Node, cfg *model.Config) (*model.Entry, error) {
+	e, err := node.SendBitstream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Pair(cfg.No).Idle.Add(e)
+	m.housekeep(1)
+	m.c.Reconfigurations++
+	m.c.ConfigurationTime += cfg.ConfigTime
+	return e, nil
+}
+
+// EvictIdle removes the given idle regions from their node
+// (paper MakeNodePartiallyBlank) and unlinks them from the idle lists.
+func (m *Manager) EvictIdle(node *model.Node, victims []*model.Entry) error {
+	if err := node.MakeNodePartiallyBlank(victims); err != nil {
+		return err
+	}
+	for _, v := range victims {
+		m.housekeep(m.Pair(v.Config.No).Drop(v))
+	}
+	return nil
+}
+
+// BlankNode strips every configuration from node (paper
+// MakeNodeBlank) and unlinks the regions from their lists.
+func (m *Manager) BlankNode(node *model.Node) error {
+	removed, err := node.MakeNodeBlank()
+	if err != nil {
+		return err
+	}
+	for _, v := range removed {
+		m.housekeep(m.Pair(v.Config.No).Drop(v))
+	}
+	return nil
+}
+
+// StartTask places task on the idle region e (paper AddTaskToNode)
+// and moves the region to its configuration's busy list.
+func (m *Manager) StartTask(e *model.Entry, task *model.Task) error {
+	if err := e.Node.AddTaskToNode(e, task); err != nil {
+		return err
+	}
+	m.housekeep(m.Pair(e.Config.No).MarkBusy(e))
+	return nil
+}
+
+// FinishTask detaches task from node (paper RemoveTaskFromNode); the
+// region stays configured and returns to its idle list.
+func (m *Manager) FinishTask(node *model.Node, task *model.Task) (*model.Entry, error) {
+	e, err := node.RemoveTaskFromNode(task)
+	if err != nil {
+		return nil, err
+	}
+	m.housekeep(m.Pair(e.Config.No).MarkIdle(e))
+	return e, nil
+}
+
+// BestIdleEntry returns the best-match idle region configured with
+// cfgNo: the one on the node with minimum AvailableArea ("so that the
+// nodes with larger AvailableArea are utilized for later
+// re-configurations", §V). In full-reconfiguration mode an idle entry
+// is only usable if its node runs nothing else; the filter is built
+// in because the idle lists thread regions, not whole nodes.
+func (m *Manager) BestIdleEntry(cfgNo int) *model.Entry {
+	best, steps := m.Pair(cfgNo).Idle.FindMin(
+		func(e *model.Entry) bool {
+			return e.Node.PartialMode || e.Node.RunningTasks() == 0
+		},
+		func(e *model.Entry) int64 { return e.Node.AvailableArea },
+	)
+	m.search(steps)
+	return best
+}
+
+// BestBlankNode scans the node list for blank, capability-compatible
+// nodes that can hold cfg and returns the one with minimum sufficient
+// TotalArea.
+func (m *Manager) BestBlankNode(cfg *model.Config) *model.Node {
+	var best *model.Node
+	var steps uint64
+	for _, n := range m.nodes {
+		steps++
+		if n.Blank() && n.TotalArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) &&
+			(best == nil || n.TotalArea < best.TotalArea) {
+			best = n
+		}
+	}
+	m.search(steps)
+	return best
+}
+
+// BestPartiallyBlankNode scans for configured, capability-compatible
+// nodes with enough unconfigured area left for cfg and returns the
+// one with the minimum sufficient AvailableArea (partial
+// configuration phase, §V). Only meaningful in partial mode;
+// full-mode nodes never qualify because a configured full-mode node
+// has its fabric committed.
+func (m *Manager) BestPartiallyBlankNode(cfg *model.Config) *model.Node {
+	var best *model.Node
+	var steps uint64
+	for _, n := range m.nodes {
+		steps++
+		if !n.PartialMode || n.Blank() {
+			continue
+		}
+		if n.AvailableArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) &&
+			(best == nil || n.AvailableArea < best.AvailableArea) {
+			best = n
+		}
+	}
+	m.search(steps)
+	return best
+}
+
+// FindAnyIdleNode is Algorithm 1 of the paper: walk the node list,
+// and for each node accumulate its AvailableArea plus the areas of
+// its idle regions; the first node whose accumulated reclaimable area
+// reaches reqArea is returned together with the idle regions to evict.
+// Both the scheduler search length and the total simulator workload
+// are charged one step per examined entry, as in the algorithm text.
+func (m *Manager) FindAnyIdleNode(cfg *model.Config) (*model.Node, []*model.Entry) {
+	reqArea := cfg.ReqArea
+	var steps uint64
+	for _, node := range m.nodes {
+		if !node.HasCaps(cfg.RequiredCaps) {
+			steps++
+			continue
+		}
+		accum := node.AvailableArea
+		var entries []*model.Entry
+		for _, e := range node.Entries {
+			steps++
+			if e.Idle() {
+				accum += e.Config.ReqArea
+				entries = append(entries, e)
+				if accum >= reqArea {
+					m.search(steps)
+					return node, entries
+				}
+			}
+		}
+	}
+	m.search(steps)
+	return nil, nil
+}
+
+// AnyBusyNodeCouldFit reports whether some currently busy node has
+// TotalArea ≥ reqArea — the paper's final check before suspending
+// rather than discarding a task ("explores the list of all busy
+// nodes to search at least one currently busy node with sufficient
+// TotalArea").
+func (m *Manager) AnyBusyNodeCouldFit(cfg *model.Config) bool {
+	var steps uint64
+	for _, n := range m.nodes {
+		steps++
+		if n.State() == model.StateBusy && n.TotalArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) {
+			m.search(steps)
+			return true
+		}
+	}
+	m.search(steps)
+	return false
+}
+
+// CheckInvariants validates global consistency: every node passes its
+// own checks, every region sits in exactly the right list, and list
+// linkage is intact. Intended for tests and debug runs.
+func (m *Manager) CheckInvariants() error {
+	listed := make(map[*model.Entry]bool)
+	for no, p := range m.pairs {
+		if err := p.Idle.CheckInvariants(); err != nil {
+			return err
+		}
+		if err := p.Busy.CheckInvariants(); err != nil {
+			return err
+		}
+		var bad error
+		p.Idle.Each(func(e *model.Entry) bool {
+			listed[e] = true
+			if e.Config.No != no {
+				bad = fmt.Errorf("resinfo: entry %v in idle list of C%d", e, no)
+				return false
+			}
+			if !e.Idle() {
+				bad = fmt.Errorf("resinfo: busy entry %v in idle list", e)
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return bad
+		}
+		p.Busy.Each(func(e *model.Entry) bool {
+			listed[e] = true
+			if e.Config.No != no {
+				bad = fmt.Errorf("resinfo: entry %v in busy list of C%d", e, no)
+				return false
+			}
+			if e.Idle() {
+				bad = fmt.Errorf("resinfo: idle entry %v in busy list", e)
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return bad
+		}
+	}
+	for _, n := range m.nodes {
+		if err := n.CheckInvariants(); err != nil {
+			return err
+		}
+		for _, e := range n.Entries {
+			if !listed[e] {
+				return fmt.Errorf("resinfo: entry %v not in any list", e)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package reslists
+
+import (
+	"fmt"
+
+	"dreamsim/internal/model"
+)
+
+// susElem is one link of the suspension queue.
+type susElem struct {
+	task       *model.Task
+	next, prev *susElem
+}
+
+// SusQueue is the suspension queue (the paper's SusList class): a
+// FIFO of tasks the scheduler could not place immediately but that
+// some busy node could eventually host. Tasks are retried whenever a
+// node releases resources and removed when placed or discarded.
+type SusQueue struct {
+	head, tail *susElem
+	index      map[*model.Task]*susElem
+	size       int
+	// peak tracks the maximum depth reached, for reporting.
+	peak int
+}
+
+// NewSusQueue returns an empty suspension queue.
+func NewSusQueue() *SusQueue {
+	return &SusQueue{index: make(map[*model.Task]*susElem)}
+}
+
+// Len returns the number of suspended tasks.
+func (q *SusQueue) Len() int { return q.size }
+
+// Peak returns the maximum queue depth observed.
+func (q *SusQueue) Peak() int { return q.peak }
+
+// Contains reports whether task is queued.
+func (q *SusQueue) Contains(task *model.Task) bool {
+	_, ok := q.index[task]
+	return ok
+}
+
+// Add appends task at the tail (the paper's AddTaskToSusQueue) and
+// marks it suspended. It panics on double insertion.
+func (q *SusQueue) Add(task *model.Task) {
+	if q.Contains(task) {
+		panic(fmt.Sprintf("reslists: suspension queue double insert of %v", task))
+	}
+	el := &susElem{task: task, prev: q.tail}
+	if q.tail != nil {
+		q.tail.next = el
+	} else {
+		q.head = el
+	}
+	q.tail = el
+	q.index[task] = el
+	q.size++
+	if q.size > q.peak {
+		q.peak = q.size
+	}
+	task.Status = model.TaskSuspended
+}
+
+// Remove unlinks task (the paper's RemoveTaskFromSusQueue); it
+// reports whether the task was queued. The caller decides the task's
+// next status.
+func (q *SusQueue) Remove(task *model.Task) bool {
+	el, ok := q.index[task]
+	if !ok {
+		return false
+	}
+	if el.prev != nil {
+		el.prev.next = el.next
+	} else {
+		q.head = el.next
+	}
+	if el.next != nil {
+		el.next.prev = el.prev
+	} else {
+		q.tail = el.prev
+	}
+	delete(q.index, task)
+	q.size--
+	return true
+}
+
+// Each walks the queue in FIFO order (the paper's SearchSusQueue),
+// calling visit until it returns false, and returns the number of
+// links explored. Every visited task's SusRetry counter is bumped:
+// a visit is one retry examination.
+func (q *SusQueue) Each(visit func(*model.Task) bool) (steps uint64) {
+	for el := q.head; el != nil; {
+		next := el.next // allow removal of the visited element
+		steps++
+		el.task.SusRetry++
+		if !visit(el.task) {
+			return steps
+		}
+		el = next
+	}
+	return steps
+}
+
+// Tasks returns the queued tasks in FIFO order (for reports).
+func (q *SusQueue) Tasks() []*model.Task {
+	out := make([]*model.Task, 0, q.size)
+	for el := q.head; el != nil; el = el.next {
+		out = append(out, el.task)
+	}
+	return out
+}
+
+// CheckInvariants validates linkage and index consistency.
+func (q *SusQueue) CheckInvariants() error {
+	count := 0
+	var prev *susElem
+	for el := q.head; el != nil; el = el.next {
+		count++
+		if count > q.size {
+			return fmt.Errorf("reslists: suspension queue cycle or size drift")
+		}
+		if el.prev != prev {
+			return fmt.Errorf("reslists: suspension queue back-pointer mismatch at %v", el.task)
+		}
+		if q.index[el.task] != el {
+			return fmt.Errorf("reslists: suspension queue index mismatch at %v", el.task)
+		}
+		prev = el
+	}
+	if count != q.size || len(q.index) != q.size {
+		return fmt.Errorf("reslists: suspension queue size %d, chain %d, index %d",
+			q.size, count, len(q.index))
+	}
+	if q.tail != prev {
+		return fmt.Errorf("reslists: suspension queue tail mismatch")
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package rng
+
+import "math"
+
+// Additional distributions used by workload modelling: recorded job
+// runtimes are famously heavy-tailed (lognormal/Weibull/Pareto fits
+// are standard in the parallel-workloads literature), and Zipf powers
+// skewed popularity draws (e.g. some configurations being requested
+// far more often than others).
+
+// Lognormal returns a variate whose logarithm is Normal(mu, sigma).
+func (r *RNG) Lognormal(mu, sigma float64) float64 {
+	if sigma < 0 {
+		panic("rng: Lognormal with negative sigma")
+	}
+	return math.Exp(mu + sigma*r.Normal())
+}
+
+// Weibull returns a Weibull(shape, scale) variate by inversion.
+func (r *RNG) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull with non-positive parameter")
+	}
+	return scale * math.Pow(-math.Log(r.Float64Open()), 1/shape)
+}
+
+// Pareto returns a Pareto(xm, alpha) variate (minimum xm, tail index
+// alpha) by inversion.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("rng: Pareto with non-positive parameter")
+	}
+	return xm / math.Pow(r.Float64Open(), 1/alpha)
+}
+
+// Zipf draws from {0, ..., n-1} with P(k) ∝ 1/(k+1)^s via inversion
+// over the precomputed CDF held by a Zipf sampler; use NewZipf for
+// repeated draws.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes a Zipf(n, s) sampler. n must be positive and
+// s non-negative (s = 0 degenerates to uniform).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if s < 0 {
+		panic("rng: Zipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the sampler's support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw samples a rank in [0, n).
+func (z *Zipf) Draw(r *RNG) int {
+	u := r.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,75 @@
+package rng
+
+import "math"
+
+// Ziggurat constants from Marsaglia & Tsang (2000): normR/normV for a
+// 128-layer normal ziggurat, expR/expV for a 256-layer exponential
+// ziggurat. Tables are derived at init from the layer recursion
+//
+//	X[i+1] = f^{-1}( f(X[i]) + V/X[i] )
+//
+// with X[1] = R and X[0] = V/f(R) (the base strip's effective width),
+// so X decreases with the index and X[n] ~ 0. Layer i is sampled with
+// width X[i]; a draw is inside-for-sure when |x| < X[i+1]; otherwise
+// layer 0 falls into the tail sampler and other layers run the exact
+// wedge test with F[i] = f(X[i]).
+const (
+	normR = 3.442619855899
+	normV = 9.91256303526217e-3
+
+	expR = 7.69711747013104972
+	expV = 3.949659822581572e-3
+)
+
+var (
+	normX [129]float64 // layer widths, normX[1] = normR
+	normF [129]float64 // f(normX[i]) with f(x) = exp(-x^2/2)
+	normW [128]float64 // normX[i] / 2^55: scale for a signed 56-bit draw
+
+	expX [257]float64 // layer widths, expX[1] = expR
+	expF [257]float64 // f(expX[i]) with f(x) = exp(-x)
+	expW [256]float64 // expX[i] / 2^53: scale for an unsigned 53-bit draw
+)
+
+func init() {
+	// Normal ziggurat, 128 layers.
+	fn := func(x float64) float64 { return math.Exp(-0.5 * x * x) }
+	inv := func(y float64) float64 { return math.Sqrt(-2 * math.Log(y)) }
+	normX[1] = normR
+	normX[0] = normV / fn(normR)
+	for i := 1; i < 128; i++ {
+		y := fn(normX[i]) + normV/normX[i]
+		if y >= 1 {
+			normX[i+1] = 0
+		} else {
+			normX[i+1] = inv(y)
+		}
+	}
+	normX[128] = 0
+	for i := 0; i <= 128; i++ {
+		normF[i] = fn(normX[i])
+	}
+	for i := 0; i < 128; i++ {
+		normW[i] = normX[i] / (1 << 55)
+	}
+
+	// Exponential ziggurat, 256 layers.
+	fe := func(x float64) float64 { return math.Exp(-x) }
+	expX[1] = expR
+	expX[0] = expV / fe(expR)
+	for i := 1; i < 256; i++ {
+		y := fe(expX[i]) + expV/expX[i]
+		if y >= 1 {
+			expX[i+1] = 0
+		} else {
+			expX[i+1] = -math.Log(y)
+		}
+	}
+	expX[256] = 0
+	for i := 0; i <= 256; i++ {
+		expF[i] = fe(expX[i])
+	}
+	for i := 0; i < 256; i++ {
+		expW[i] = expX[i] / (1 << 53)
+	}
+}

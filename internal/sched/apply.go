@@ -1,0 +1,61 @@
+package sched
+
+import (
+	"fmt"
+
+	"dreamsim/internal/model"
+	"dreamsim/internal/resinfo"
+)
+
+// Apply executes a placing decision against the resource state: it
+// performs the evictions and bitstream sends the decision calls for,
+// starts the task on the resulting region, and returns that region
+// together with the configuration delay incurred (0 for pure
+// allocation; the config's ConfigTime otherwise — the optional
+// bitstream-transfer term is added by the caller's network model).
+//
+// Suspend/discard decisions carry no state change and are rejected.
+func Apply(m *resinfo.Manager, task *model.Task, d Decision) (*model.Entry, int64, error) {
+	switch d.Action {
+	case ActAllocate:
+		if d.Entry == nil {
+			return nil, 0, fmt.Errorf("sched: allocate decision without entry")
+		}
+		if err := m.StartTask(d.Entry, task); err != nil {
+			return nil, 0, err
+		}
+		return d.Entry, 0, nil
+
+	case ActConfigure, ActPartialConfigure:
+		if d.Node == nil || d.Config == nil {
+			return nil, 0, fmt.Errorf("sched: configure decision missing node/config")
+		}
+		e, err := m.Configure(d.Node, d.Config)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := m.StartTask(e, task); err != nil {
+			return nil, 0, err
+		}
+		return e, d.Config.ConfigTime, nil
+
+	case ActReconfigure:
+		if d.Node == nil || d.Config == nil || len(d.Evict) == 0 {
+			return nil, 0, fmt.Errorf("sched: reconfigure decision missing node/config/evictions")
+		}
+		if err := m.EvictIdle(d.Node, d.Evict); err != nil {
+			return nil, 0, err
+		}
+		e, err := m.Configure(d.Node, d.Config)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := m.StartTask(e, task); err != nil {
+			return nil, 0, err
+		}
+		return e, d.Config.ConfigTime, nil
+
+	default:
+		return nil, 0, fmt.Errorf("sched: Apply called with non-placing decision %s", d.Action)
+	}
+}

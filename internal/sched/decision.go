@@ -1,0 +1,120 @@
+// Package sched implements DReAMSim's task scheduling manager (paper
+// §III core subsystem) and the case-study scheduling algorithm with
+// partial-reconfiguration support (paper §V, Fig. 5, Alg. 1).
+//
+// A Policy inspects the resource state through the resource
+// information manager and returns a Decision; the simulation core
+// applies decisions and drives task lifecycles. Keeping policies pure
+// (no state mutation besides metered searches) makes them unit-
+// testable and lets one simulator host many policies.
+package sched
+
+import (
+	"fmt"
+
+	"dreamsim/internal/model"
+)
+
+// Action is what the scheduler wants done with a task.
+type Action int
+
+const (
+	// ActAllocate runs the task on an already-configured idle region —
+	// the Allocation phase (no reconfiguration cost).
+	ActAllocate Action = iota
+	// ActConfigure loads the configuration onto a blank node — the
+	// Configuration phase.
+	ActConfigure
+	// ActPartialConfigure loads the configuration into free fabric on
+	// a node that already hosts other configurations — the Partial
+	// configuration phase (partial mode only).
+	ActPartialConfigure
+	// ActReconfigure evicts idle regions from a node to make room,
+	// then loads the configuration — the Partial re-configuration
+	// phase (Alg. 1); in full mode this degenerates to blanking and
+	// reconfiguring an idle node.
+	ActReconfigure
+	// ActSuspend parks the task in the suspension queue until a busy
+	// node releases resources.
+	ActSuspend
+	// ActDiscard drops the task: no node could ever host it.
+	ActDiscard
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActAllocate:
+		return "allocate"
+	case ActConfigure:
+		return "configure"
+	case ActPartialConfigure:
+		return "partial-configure"
+	case ActReconfigure:
+		return "reconfigure"
+	case ActSuspend:
+		return "suspend"
+	case ActDiscard:
+		return "discard"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Decision is a scheduling verdict for one task.
+type Decision struct {
+	// Action selects the verdict.
+	Action Action
+	// Config is the configuration chosen for the task (Cpref or
+	// C_ClosestMatch). Nil only when Action is ActDiscard because no
+	// configuration fits the task at all.
+	Config *model.Config
+	// ClosestMatch records that Config is the fallback, not Cpref.
+	ClosestMatch bool
+	// Entry is the idle region to run on (ActAllocate only).
+	Entry *model.Entry
+	// Node is the target node (configure/reconfigure actions).
+	Node *model.Node
+	// Evict lists the idle regions to remove first (ActReconfigure).
+	Evict []*model.Entry
+}
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	s := d.Action.String()
+	if d.Config != nil {
+		s += fmt.Sprintf(" C%d", d.Config.No)
+		if d.ClosestMatch {
+			s += "(closest)"
+		}
+	}
+	if d.Node != nil {
+		s += fmt.Sprintf(" on N%d", d.Node.No)
+	} else if d.Entry != nil {
+		s += fmt.Sprintf(" on N%d", d.Entry.Node.No)
+	}
+	return s
+}
+
+// TargetNode returns the node the decision places the task on, or
+// nil for suspend/discard.
+func (d Decision) TargetNode() *model.Node {
+	switch d.Action {
+	case ActAllocate:
+		if d.Entry != nil {
+			return d.Entry.Node
+		}
+	case ActConfigure, ActPartialConfigure, ActReconfigure:
+		return d.Node
+	}
+	return nil
+}
+
+// Places reports whether the decision actually lands the task on a node.
+func (d Decision) Places() bool {
+	switch d.Action {
+	case ActAllocate, ActConfigure, ActPartialConfigure, ActReconfigure:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,279 @@
+// Package sim provides the discrete simulation-time substrate of
+// DReAMSim: the timetick clock (paper §IV-C, IncreaseTimeTick /
+// DecreaseTimeTick, Eq. 5) and a deterministic future-event queue.
+//
+// The paper advances time in unit "timeticks". A literal
+// tick-by-tick loop and an event-jumping loop produce identical
+// simulated results; the engine supports both (the core simulator
+// jumps to the next scheduled event by default and can be forced to
+// step tick-by-tick for the paper-faithful ablation).
+package sim
+
+import "fmt"
+
+// Time is a point in simulated time, measured in timeticks. The paper
+// uses `long long int` timeticks; int64 matches.
+type Time = int64
+
+// Clock tracks current simulated time. The zero value starts at tick 0.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current timetick.
+func (c *Clock) Now() Time { return c.now }
+
+// IncreaseTimeTick advances the clock by one tick and returns the new
+// time (paper method name).
+func (c *Clock) IncreaseTimeTick() Time {
+	c.now++
+	return c.now
+}
+
+// DecreaseTimeTick rewinds the clock by one tick (paper method name;
+// used only by tooling/tests — the simulator itself never rewinds).
+func (c *Clock) DecreaseTimeTick() Time {
+	c.now--
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t. It panics if t is in the
+// past: simulation time is monotone.
+func (c *Clock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: clock moving backwards: %d -> %d", c.now, t))
+	}
+	c.now = t
+}
+
+// Event is a scheduled occurrence. Events at the same timetick fire
+// in scheduling order (FIFO), which keeps runs deterministic.
+type Event struct {
+	At   Time
+	Kind string // diagnostic label, e.g. "arrival", "completion"
+	Fire func(now Time)
+
+	seq   uint64 // tie-breaker: insertion order
+	index int    // heap position; -1 when not queued
+}
+
+// Queue is a min-heap of future events ordered by (At, insertion
+// order). The zero value is ready to use.
+type Queue struct {
+	events  []*Event
+	nextSeq uint64
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// Push schedules ev. It panics if the event is already queued.
+func (q *Queue) Push(ev *Event) {
+	if ev.Fire == nil {
+		panic("sim: event with nil Fire")
+	}
+	if ev.index > 0 || (len(q.events) > 0 && ev.index == 0 && q.events[0] == ev) {
+		panic("sim: event already queued")
+	}
+	ev.seq = q.nextSeq
+	q.nextSeq++
+	ev.index = len(q.events)
+	q.events = append(q.events, ev)
+	q.up(ev.index)
+}
+
+// Schedule is a convenience wrapper allocating the Event.
+func (q *Queue) Schedule(at Time, kind string, fire func(now Time)) *Event {
+	ev := &Event{At: at, Kind: kind, Fire: fire, index: -1}
+	q.Push(ev)
+	return ev
+}
+
+// PeekTime returns the timestamp of the earliest pending event; ok is
+// false when the queue is empty.
+func (q *Queue) PeekTime() (t Time, ok bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].At, true
+}
+
+// Pop removes and returns the earliest pending event (ties broken by
+// insertion order). It returns nil when the queue is empty.
+func (q *Queue) Pop() *Event {
+	if len(q.events) == 0 {
+		return nil
+	}
+	ev := q.events[0]
+	last := len(q.events) - 1
+	q.swap(0, last)
+	q.events[last] = nil
+	q.events = q.events[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// Remove cancels a queued event. It reports whether the event was
+// actually pending.
+func (q *Queue) Remove(ev *Event) bool {
+	i := ev.index
+	if i < 0 || i >= len(q.events) || q.events[i] != ev {
+		return false
+	}
+	last := len(q.events) - 1
+	q.swap(i, last)
+	q.events[last] = nil
+	q.events = q.events[:last]
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+	ev.index = -1
+	return true
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.events[i], q.events[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.events[i], q.events[j] = q.events[j], q.events[i]
+	q.events[i].index = i
+	q.events[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.events)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// Engine couples a Clock with a Queue and runs events in time order.
+type Engine struct {
+	Clock Clock
+	Queue Queue
+
+	// TickStep, when true, advances the clock one tick at a time and
+	// invokes OnTick on every tick (the paper's literal loop). When
+	// false the clock jumps directly to the next event time.
+	TickStep bool
+	// OnTick, if set, runs once per timetick in TickStep mode after
+	// the tick's events have fired.
+	OnTick func(now Time)
+
+	processed uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.Clock.Now() }
+
+// ScheduleAt queues fire to run at absolute time at. Scheduling in
+// the past panics: causality must hold.
+func (e *Engine) ScheduleAt(at Time, kind string, fire func(now Time)) *Event {
+	if at < e.Clock.Now() {
+		panic(fmt.Sprintf("sim: scheduling %q at %d before now %d", kind, at, e.Clock.Now()))
+	}
+	return e.Queue.Schedule(at, kind, fire)
+}
+
+// ScheduleAfter queues fire to run delay ticks from now.
+func (e *Engine) ScheduleAfter(delay Time, kind string, fire func(now Time)) *Event {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return e.Queue.Schedule(e.Clock.Now()+delay, kind, fire)
+}
+
+// Processed reports how many events have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Step fires the single earliest event (advancing the clock to it)
+// and reports whether an event was available.
+func (e *Engine) Step() bool {
+	ev := e.Queue.Pop()
+	if ev == nil {
+		return false
+	}
+	e.Clock.AdvanceTo(ev.At)
+	e.processed++
+	ev.Fire(ev.At)
+	return true
+}
+
+// Run drives the simulation until the queue is empty or until stop
+// (when non-nil) returns true. It returns the final simulated time —
+// the paper's "total simulation time" (Eq. 5).
+func (e *Engine) Run(stop func() bool) Time {
+	if e.TickStep {
+		return e.runTicked(stop)
+	}
+	for {
+		if stop != nil && stop() {
+			return e.Clock.Now()
+		}
+		if !e.Step() {
+			return e.Clock.Now()
+		}
+	}
+}
+
+// runTicked advances one timetick at a time, firing any events due at
+// each tick and then the OnTick hook — the paper's literal main loop.
+func (e *Engine) runTicked(stop func() bool) Time {
+	for {
+		if stop != nil && stop() {
+			return e.Clock.Now()
+		}
+		next, ok := e.Queue.PeekTime()
+		if !ok {
+			return e.Clock.Now()
+		}
+		// Walk tick-by-tick up to the next event time.
+		for e.Clock.Now() < next {
+			e.Clock.IncreaseTimeTick()
+			if e.OnTick != nil {
+				e.OnTick(e.Clock.Now())
+			}
+		}
+		for {
+			t, ok := e.Queue.PeekTime()
+			if !ok || t != e.Clock.Now() {
+				break
+			}
+			ev := e.Queue.Pop()
+			e.processed++
+			ev.Fire(ev.At)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockBasics(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %d", c.Now())
+	}
+	if c.IncreaseTimeTick() != 1 || c.Now() != 1 {
+		t.Fatal("IncreaseTimeTick broken")
+	}
+	if c.DecreaseTimeTick() != 0 {
+		t.Fatal("DecreaseTimeTick broken")
+	}
+	c.AdvanceTo(10)
+	if c.Now() != 10 {
+		t.Fatalf("AdvanceTo gave %d", c.Now())
+	}
+}
+
+func TestClockBackwardsPanics(t *testing.T) {
+	var c Clock
+	c.AdvanceTo(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo(past) did not panic")
+		}
+	}()
+	c.AdvanceTo(4)
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	var fired []int
+	mk := func(id int, at Time) {
+		q.Schedule(at, "t", func(Time) { fired = append(fired, id) })
+	}
+	mk(3, 30)
+	mk(1, 10)
+	mk(2, 20)
+	mk(0, 5)
+	for q.Len() > 0 {
+		ev := q.Pop()
+		ev.Fire(ev.At)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired order %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestQueueFIFOWithinTick(t *testing.T) {
+	var q Queue
+	var fired []int
+	for i := 0; i < 50; i++ {
+		id := i
+		q.Schedule(100, "t", func(Time) { fired = append(fired, id) })
+	}
+	for q.Len() > 0 {
+		ev := q.Pop()
+		ev.Fire(ev.At)
+	}
+	for i, id := range fired {
+		if id != i {
+			t.Fatalf("same-tick events out of insertion order: %v", fired)
+		}
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	var q Queue
+	a := q.Schedule(1, "a", func(Time) {})
+	b := q.Schedule(2, "b", func(Time) {})
+	c := q.Schedule(3, "c", func(Time) {})
+	if !q.Remove(b) {
+		t.Fatal("Remove(b) failed")
+	}
+	if q.Remove(b) {
+		t.Fatal("Remove(b) twice succeeded")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	if q.Pop() != a || q.Pop() != c {
+		t.Fatal("wrong remaining order")
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty returned event")
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	var q Queue
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue reported ok")
+	}
+	q.Schedule(42, "x", func(Time) {})
+	if tt, ok := q.PeekTime(); !ok || tt != 42 {
+		t.Fatalf("PeekTime = %d,%v", tt, ok)
+	}
+}
+
+func TestEngineEventJump(t *testing.T) {
+	var e Engine
+	var times []Time
+	e.ScheduleAt(10, "a", func(now Time) { times = append(times, now) })
+	e.ScheduleAt(5, "b", func(now Time) {
+		times = append(times, now)
+		e.ScheduleAfter(2, "c", func(now Time) { times = append(times, now) })
+	})
+	end := e.Run(nil)
+	want := []Time{5, 7, 10}
+	if len(times) != len(want) {
+		t.Fatalf("fired %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("fired %v, want %v", times, want)
+		}
+	}
+	if end != 10 {
+		t.Fatalf("end time %d, want 10", end)
+	}
+	if e.Processed() != 3 {
+		t.Fatalf("processed %d", e.Processed())
+	}
+}
+
+func TestEngineTickStepEquivalence(t *testing.T) {
+	run := func(tick bool) ([]Time, Time) {
+		var e Engine
+		e.TickStep = tick
+		var times []Time
+		e.ScheduleAt(3, "a", func(now Time) {
+			times = append(times, now)
+			e.ScheduleAfter(4, "b", func(now Time) { times = append(times, now) })
+		})
+		e.ScheduleAt(9, "c", func(now Time) { times = append(times, now) })
+		end := e.Run(nil)
+		return times, end
+	}
+	jt, je := run(false)
+	tt, te := run(true)
+	if je != te {
+		t.Fatalf("end times differ: jump %d vs tick %d", je, te)
+	}
+	if len(jt) != len(tt) {
+		t.Fatalf("event counts differ: %v vs %v", jt, tt)
+	}
+	for i := range jt {
+		if jt[i] != tt[i] {
+			t.Fatalf("event times differ: %v vs %v", jt, tt)
+		}
+	}
+}
+
+func TestEngineTickStepOnTick(t *testing.T) {
+	var e Engine
+	e.TickStep = true
+	ticks := 0
+	e.OnTick = func(Time) { ticks++ }
+	e.ScheduleAt(25, "end", func(Time) {})
+	e.Run(nil)
+	if ticks != 25 {
+		t.Fatalf("OnTick fired %d times, want 25", ticks)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.ScheduleAt(Time(i), "n", func(Time) { count++ })
+	}
+	e.Run(func() bool { return count >= 3 })
+	if count != 3 {
+		t.Fatalf("stop predicate ignored: count=%d", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Clock.AdvanceTo(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(99, "late", func(Time) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.ScheduleAfter(-1, "x", func(Time) {})
+}
+
+func TestNilFirePanics(t *testing.T) {
+	var q Queue
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil Fire did not panic")
+		}
+	}()
+	q.Push(&Event{At: 1})
+}
+
+func TestEngineRemoveScheduledEvent(t *testing.T) {
+	var e Engine
+	fired := []string{}
+	keep := e.ScheduleAt(5, "keep", func(Time) { fired = append(fired, "keep") })
+	drop := e.ScheduleAt(3, "drop", func(Time) { fired = append(fired, "drop") })
+	_ = keep
+	if !e.Queue.Remove(drop) {
+		t.Fatal("Remove failed")
+	}
+	end := e.Run(nil)
+	if len(fired) != 1 || fired[0] != "keep" {
+		t.Fatalf("fired %v", fired)
+	}
+	if end != 5 {
+		t.Fatalf("end %d", end)
+	}
+}
+
+func TestEngineSelfCancellation(t *testing.T) {
+	// An event firing at tick t may cancel a later event — the
+	// pattern a pre-emption extension would use.
+	var e Engine
+	fired := 0
+	victim := e.ScheduleAt(10, "victim", func(Time) { fired++ })
+	e.ScheduleAt(5, "canceller", func(Time) {
+		if !e.Queue.Remove(victim) {
+			t.Error("in-flight cancellation failed")
+		}
+	})
+	e.Run(nil)
+	if fired != 0 {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+// Property: popping a randomly filled queue yields non-decreasing times.
+func TestQuickHeapOrder(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q Queue
+		for _, tt := range times {
+			q.Schedule(Time(tt), "p", func(Time) {})
+		}
+		last := Time(-1)
+		for q.Len() > 0 {
+			ev := q.Pop()
+			if ev.At < last {
+				return false
+			}
+			last = ev.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Remove leaves the heap consistent for arbitrary interleavings.
+func TestQuickRemoveConsistency(t *testing.T) {
+	f := func(times []uint8, removeMask []bool) bool {
+		var q Queue
+		evs := make([]*Event, len(times))
+		for i, tt := range times {
+			evs[i] = q.Schedule(Time(tt), "p", func(Time) {})
+		}
+		removed := 0
+		for i, ev := range evs {
+			if i < len(removeMask) && removeMask[i] {
+				if q.Remove(ev) {
+					removed++
+				}
+			}
+		}
+		if q.Len() != len(times)-removed {
+			return false
+		}
+		last := Time(-1)
+		for q.Len() > 0 {
+			ev := q.Pop()
+			if ev.At < last {
+				return false
+			}
+			last = ev.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	var q Queue
+	fire := func(Time) {}
+	for i := 0; i < b.N; i++ {
+		q.Schedule(Time(i%1024), "b", fire)
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}

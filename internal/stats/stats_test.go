@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dreamsim/internal/rng"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.Variance-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance: %v", s.Variance)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty summary: %+v", empty)
+	}
+	single := Summarize([]float64{3})
+	if single.Variance != 0 || single.StdDev() != 0 {
+		t.Fatalf("single summary: %+v", single)
+	}
+}
+
+func TestPaired(t *testing.T) {
+	a := []float64{10, 12, 9, 11, 13}
+	b := []float64{7, 8, 6, 9, 8}
+	r, err := Paired(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 5 || !r.AllPositive || r.AllNegative {
+		t.Fatalf("paired: %+v", r)
+	}
+	// diffs: 3,4,3,2,5 -> mean 3.4
+	if math.Abs(r.MeanDiff-3.4) > 1e-12 {
+		t.Fatalf("mean diff: %v", r.MeanDiff)
+	}
+	if r.T <= 0 || r.CI95 <= 0 {
+		t.Fatalf("t/CI: %+v", r)
+	}
+	// A strong effect: CI excludes zero.
+	if r.MeanDiff-r.CI95 <= 0 {
+		t.Fatalf("CI too wide for a clear effect: %+v", r)
+	}
+
+	// Reversed direction.
+	r2, _ := Paired(b, a)
+	if !r2.AllNegative || r2.MeanDiff >= 0 {
+		t.Fatalf("reversed: %+v", r2)
+	}
+
+	// Errors.
+	if _, err := Paired(a, b[:3]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Paired(a[:1], b[:1]); err == nil {
+		t.Fatal("single pair accepted")
+	}
+}
+
+func TestPairedMixedSigns(t *testing.T) {
+	r, err := Paired([]float64{1, 5}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AllPositive || r.AllNegative {
+		t.Fatalf("mixed signs misreported: %+v", r)
+	}
+}
+
+func TestWelchDetectsSeparation(t *testing.T) {
+	r := rng.New(1)
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = r.NormalMS(100, 5)
+		b[i] = r.NormalMS(80, 8)
+	}
+	res, err := Welch(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant05 || res.T <= 0 {
+		t.Fatalf("clear separation not detected: %+v", res)
+	}
+	// Same distribution: usually insignificant.
+	insig := 0
+	for trial := 0; trial < 20; trial++ {
+		for i := range a {
+			a[i] = r.NormalMS(50, 10)
+			b[i] = r.NormalMS(50, 10)
+		}
+		res, _ = Welch(a, b)
+		if !res.Significant05 {
+			insig++
+		}
+	}
+	if insig < 15 { // 5% false positive rate -> expect ~19
+		t.Fatalf("null rejected too often: %d/20 insignificant", insig)
+	}
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	res, err := Welch([]float64{5, 5, 5}, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant05 {
+		t.Fatal("distinct constants not significant")
+	}
+	res, err = Welch([]float64{4, 4}, []float64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant05 {
+		t.Fatal("identical constants significant")
+	}
+	if _, err := Welch([]float64{1}, []float64{2, 3}); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+}
+
+func TestMannWhitneyDetectsShift(t *testing.T) {
+	r := rng.New(3)
+	a := make([]float64, 25)
+	b := make([]float64, 25)
+	for i := range a {
+		a[i] = r.Exponential() + 2 // shifted
+		b[i] = r.Exponential()
+	}
+	res, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant05 || res.Z <= 0 {
+		t.Fatalf("clear shift not detected: %+v", res)
+	}
+	if _, err := MannWhitney(a[:1], b); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+}
+
+func TestMannWhitneyTies(t *testing.T) {
+	// Heavy ties must not blow up the variance computation.
+	a := []float64{1, 1, 2, 2, 3}
+	b := []float64{1, 2, 2, 3, 3}
+	res, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Z) {
+		t.Fatalf("tie handling produced NaN: %+v", res)
+	}
+	if res.Significant05 {
+		t.Fatalf("near-identical samples significant: %+v", res)
+	}
+}
+
+func TestTQuantileMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		q := tQuantile975(df)
+		if q > prev {
+			t.Fatalf("t quantile not non-increasing at df=%d: %v > %v", df, q, prev)
+		}
+		prev = q
+	}
+	if tQuantile975(0) != math.Inf(1) {
+		t.Fatal("df=0 not infinite")
+	}
+	if tQuantile975(1000) != 1.96 {
+		t.Fatal("normal limit wrong")
+	}
+}
+
+// Property: for any paired samples, MeanDiff(a,b) == -MeanDiff(b,a).
+func TestQuickPairedAntisymmetry(t *testing.T) {
+	f := func(seed uint16, n uint8) bool {
+		r := rng.New(uint64(seed))
+		size := int(n%20) + 2
+		a := make([]float64, size)
+		b := make([]float64, size)
+		for i := range a {
+			a[i] = r.Float64() * 100
+			b[i] = r.Float64() * 100
+		}
+		ab, err1 := Paired(a, b)
+		ba, err2 := Paired(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(ab.MeanDiff+ba.MeanDiff) < 1e-9 &&
+			math.Abs(ab.CI95-ba.CI95) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"dreamsim/internal/model"
+
+	"strings"
+	"testing"
+)
+
+// sampleSWF is a miniature SWF log: header comments, a cancelled job
+// (run -1), and four runnable jobs, one with a precedence edge.
+const sampleSWF = `; SWF trace for tests
+; MaxJobs: 6
+; UnixStartTime: 0
+1 0 5 3600 8 -1 -1 8 4000 -1 1 101 5 7 1 1 -1 -1
+2 10 -1 -1 4 -1 -1 4 100 -1 0 101 5 3 1 1 -1 -1
+3 30 2 120 1 -1 -1 1 300 -1 1 102 5 -1 2 1 -1 -1
+4 60 0 60 64 -1 -1 64 60 -1 1 103 6 9 1 1 1 -1
+5 60 0 600 2 -1 -1 2 700 -1 1 103 6 9 1 1 99 -1
+`
+
+func TestParseSWF(t *testing.T) {
+	tasks, deps, err := ParseSWF(strings.NewReader(sampleSWF), SWFMapping{KeepDependencies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 2 skipped (run -1): 4 tasks.
+	if len(tasks) != 4 {
+		t.Fatalf("got %d tasks", len(tasks))
+	}
+	t1 := tasks[0]
+	if t1.No != 1 || t1.CreateTime != 0 || t1.RequiredTime != 3600 {
+		t.Fatalf("job 1 mapping: %+v", t1)
+	}
+	// 8 procs * 100 area/proc = 800.
+	if t1.NeededArea != 800 {
+		t.Fatalf("job 1 area %d", t1.NeededArea)
+	}
+	// exe 7 % 50 = 7.
+	if t1.PrefConfig != 7 {
+		t.Fatalf("job 1 pref %d", t1.PrefConfig)
+	}
+	// Job 3 has exe -1: falls back to job number. 1 proc -> clamped to MinArea.
+	t3 := tasks[1]
+	if t3.No != 3 || t3.NeededArea != 200 || t3.PrefConfig != 3 {
+		t.Fatalf("job 3 mapping: %+v", t3)
+	}
+	// Job 4: 64 procs -> clamped to MaxArea 2000.
+	t4 := tasks[2]
+	if t4.NeededArea != 2000 {
+		t.Fatalf("job 4 area %d", t4.NeededArea)
+	}
+	// Dependency: job 4 precedes... job 4's field 17 = 1 (preceding job 1).
+	if len(deps) != 1 || len(deps[4]) != 1 || deps[4][0] != 1 {
+		t.Fatalf("deps: %v", deps)
+	}
+	// Job 5's preceding job 99 is unknown: no edge.
+	if _, ok := deps[5]; ok {
+		t.Fatal("dangling precedence edge kept")
+	}
+}
+
+func TestParseSWFScaling(t *testing.T) {
+	tasks, _, err := ParseSWF(strings.NewReader(sampleSWF), SWFMapping{TicksPerSecond: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[0].RequiredTime != 36000 {
+		t.Fatalf("scaled run time %d", tasks[0].RequiredTime)
+	}
+	if tasks[1].CreateTime != 300 {
+		t.Fatalf("scaled submit %d", tasks[1].CreateTime)
+	}
+}
+
+func TestParseSWFMaxJobs(t *testing.T) {
+	tasks, _, err := ParseSWF(strings.NewReader(sampleSWF), SWFMapping{MaxJobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("MaxJobs ignored: %d", len(tasks))
+	}
+}
+
+func TestParseSWFNoDepsByDefault(t *testing.T) {
+	_, deps, err := ParseSWF(strings.NewReader(sampleSWF), SWFMapping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deps) != 0 {
+		t.Fatalf("dependencies kept without opt-in: %v", deps)
+	}
+}
+
+func TestParseSWFRejects(t *testing.T) {
+	cases := map[string]string{
+		"short line":    "1 0 5 3600 8\n",
+		"bad number":    "x 0 5 3600 8 -1 -1 8 4000 -1 1 101 5 7 1 1 -1 -1\n",
+		"duplicate job": "1 0 5 60 1 -1 -1 1 60 -1 1 1 1 1 1 1 -1 -1\n1 5 5 60 1 -1 -1 1 60 -1 1 1 1 1 1 1 -1 -1\n",
+		"empty":         "; only comments\n",
+		"all skipped":   "1 0 5 -1 1 -1 -1 1 60 -1 0 1 1 1 1 1 -1 -1\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ParseSWF(strings.NewReader(in), SWFMapping{}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestParseSWFMonotoneSubmits(t *testing.T) {
+	// Out-of-order submits are clamped forward, never backwards.
+	in := "1 100 0 60 1 -1 -1 1 60 -1 1 1 1 1 1 1 -1 -1\n" +
+		"2 50 0 60 1 -1 -1 1 60 -1 1 1 1 1 1 1 -1 -1\n"
+	tasks, _, err := ParseSWF(strings.NewReader(in), SWFMapping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tasks[1].CreateTime < tasks[0].CreateTime {
+		t.Fatal("submit times move backwards")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	tasks, _, err := ParseSWF(strings.NewReader(sampleSWF), SWFMapping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := SliceSource(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Drain(src); len(got) != len(tasks) {
+		t.Fatalf("slice source lost tasks: %d != %d", len(got), len(tasks))
+	}
+	// Unordered slices rejected.
+	rev := []*model.Task{tasks[len(tasks)-1], tasks[0]}
+	if _, err := SliceSource(rev); err == nil {
+		t.Fatal("unordered slice accepted")
+	}
+	// Invalid tasks rejected.
+	bad := model.NewTask(99, 0, 1, 100, 0)
+	if _, err := SliceSource([]*model.Task{bad}); err == nil {
+		t.Fatal("invalid task accepted")
+	}
+}

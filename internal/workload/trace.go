@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"dreamsim/internal/model"
+)
+
+// The trace format is line-oriented text, one task per line:
+//
+//	# dreamsim-trace v1
+//	task <no> <create> <required> <prefcfg> <area> <data>
+//
+// Comment lines start with '#'. It is the "real workloads" input
+// path of the paper's input subsystem: any recorded workload can be
+// converted to this format and replayed against any scheduler.
+
+// traceHeader is the mandatory first line of a trace file.
+const traceHeader = "# dreamsim-trace v1"
+
+// WriteTrace serialises tasks to w in arrival order.
+func WriteTrace(w io.Writer, tasks []*model.Task) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, traceHeader); err != nil {
+		return err
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("workload: refusing to write invalid task: %w", err)
+		}
+		if _, err := fmt.Fprintf(bw, "task %d %d %d %d %d %d\n",
+			t.No, t.CreateTime, t.RequiredTime, t.PrefConfig, t.NeededArea, t.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceReader replays a trace as a Source.
+type TraceReader struct {
+	sc       *bufio.Scanner
+	line     int
+	lastTime int64
+	err      error
+	started  bool
+}
+
+// NewTraceReader wraps r; the header is validated on first Next.
+func NewTraceReader(r io.Reader) *TraceReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	return &TraceReader{sc: sc}
+}
+
+// Err returns the first parse error encountered, if any.
+func (tr *TraceReader) Err() error { return tr.err }
+
+// Next implements Source. On malformed input it stops the stream and
+// records the error on Err.
+func (tr *TraceReader) Next() (*model.Task, bool) {
+	if tr.err != nil {
+		return nil, false
+	}
+	if !tr.started {
+		tr.started = true
+		if !tr.scanLine() {
+			tr.fail("empty trace: missing header")
+			return nil, false
+		}
+		if strings.TrimSpace(tr.sc.Text()) != traceHeader {
+			tr.fail("bad header %q", tr.sc.Text())
+			return nil, false
+		}
+	}
+	for tr.scanLine() {
+		line := strings.TrimSpace(tr.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var no int
+		var create, required, prefcfg, area, data int64
+		n, err := fmt.Sscanf(line, "task %d %d %d %d %d %d",
+			&no, &create, &required, &prefcfg, &area, &data)
+		if err != nil || n != 6 {
+			tr.fail("line %d: malformed task record %q", tr.line, line)
+			return nil, false
+		}
+		if create < tr.lastTime {
+			tr.fail("line %d: arrival time moves backwards (%d < %d)", tr.line, create, tr.lastTime)
+			return nil, false
+		}
+		tr.lastTime = create
+		task := model.NewTask(no, area, int(prefcfg), required, create)
+		task.Data = data
+		if err := task.Validate(); err != nil {
+			tr.fail("line %d: %v", tr.line, err)
+			return nil, false
+		}
+		return task, true
+	}
+	if err := tr.sc.Err(); err != nil {
+		tr.err = err
+	}
+	return nil, false
+}
+
+func (tr *TraceReader) scanLine() bool {
+	if tr.sc.Scan() {
+		tr.line++
+		return true
+	}
+	return false
+}
+
+func (tr *TraceReader) fail(format string, args ...any) {
+	tr.err = fmt.Errorf("workload: "+format, args...)
+}

@@ -1,0 +1,112 @@
+package dreamsim
+
+import "fmt"
+
+// Cell is one experiment point: both scenarios at one (nodes, tasks)
+// coordinate, run over identical inputs.
+type Cell struct {
+	Nodes, Tasks  int
+	Full, Partial Result
+}
+
+// Matrix is a full experiment sweep: every (nodes, tasks) coordinate
+// the paper's figures draw from. Running the matrix once and
+// extracting all nine figures from it avoids re-simulating shared
+// coordinates (Figs. 6a/7a/8a share the 100-node runs; 6b/7b/8b/9a/
+// 9b/10 share the 200-node runs).
+type Matrix struct {
+	NodeCounts []int
+	TaskCounts []int
+	Cells      []Cell // row-major: node count outer, task count inner
+}
+
+// RunMatrix sweeps both scenarios over the cross product of node and
+// task counts (nil grids default to the paper's {100, 200} ×
+// PaperTaskCounts). onCell, when non-nil, observes each finished cell
+// (progress reporting).
+func RunMatrix(base Params, nodeCounts, taskCounts []int, onCell func(Cell)) (*Matrix, error) {
+	if nodeCounts == nil {
+		nodeCounts = []int{100, 200}
+	}
+	if taskCounts == nil {
+		taskCounts = PaperTaskCounts
+	}
+	m := &Matrix{NodeCounts: nodeCounts, TaskCounts: taskCounts}
+	for _, nodes := range nodeCounts {
+		for _, tasks := range taskCounts {
+			p := base
+			p.Nodes = nodes
+			p.Tasks = tasks
+			full, partial, err := Compare(p)
+			if err != nil {
+				return nil, fmt.Errorf("dreamsim: matrix cell %d nodes/%d tasks: %w", nodes, tasks, err)
+			}
+			cell := Cell{Nodes: nodes, Tasks: tasks, Full: full, Partial: partial}
+			m.Cells = append(m.Cells, cell)
+			if onCell != nil {
+				onCell(cell)
+			}
+		}
+	}
+	return m, nil
+}
+
+// CellAt returns the cell at a coordinate, or nil if absent.
+func (m *Matrix) CellAt(nodes, tasks int) *Cell {
+	for i := range m.Cells {
+		if m.Cells[i].Nodes == nodes && m.Cells[i].Tasks == tasks {
+			return &m.Cells[i]
+		}
+	}
+	return nil
+}
+
+// Figure extracts one paper figure from the matrix. Every task count
+// of the matrix must be present for the figure's node count.
+func (m *Matrix) Figure(id FigureID) (Figure, error) {
+	spec, ok := figureRegistry[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("dreamsim: unknown figure %q", id)
+	}
+	fig := Figure{
+		ID: id, Title: spec.title,
+		XLabel: "total tasks generated", YLabel: spec.ylabel,
+		Nodes: spec.nodes, TaskCounts: m.TaskCounts,
+		PartialBelowExpected: spec.expectPartialBelow,
+	}
+	for _, tasks := range m.TaskCounts {
+		cell := m.CellAt(spec.nodes, tasks)
+		if cell == nil {
+			return Figure{}, fmt.Errorf("dreamsim: matrix lacks cell %d nodes/%d tasks for figure %s",
+				spec.nodes, tasks, id)
+		}
+		fig.Without = append(fig.Without, spec.metric(cell.Full))
+		fig.With = append(fig.With, spec.metric(cell.Partial))
+	}
+	return fig, nil
+}
+
+// Figures extracts every paper figure the matrix covers (those whose
+// node count is in the matrix's grid).
+func (m *Matrix) Figures() ([]Figure, error) {
+	var out []Figure
+	for _, id := range FigureIDs() {
+		spec := figureRegistry[id]
+		found := false
+		for _, n := range m.NodeCounts {
+			if n == spec.nodes {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		fig, err := m.Figure(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package dreamsim_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dreamsim"
+)
+
+func smallMatrix(t *testing.T, seed uint64) *dreamsim.Matrix {
+	t.Helper()
+	base := dreamsim.DefaultParams()
+	base.Seed = seed
+	m, err := dreamsim.RunMatrix(base, []int{30}, []int{200, 400}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMatrixSaveLoadRoundTrip(t *testing.T) {
+	m := smallMatrix(t, 5)
+	var buf bytes.Buffer
+	if err := dreamsim.SaveMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"cells\"") {
+		t.Fatal("JSON shape wrong")
+	}
+	got, err := dreamsim.LoadMatrix(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(m.Cells) {
+		t.Fatalf("cells lost: %d != %d", len(got.Cells), len(m.Cells))
+	}
+	for i := range m.Cells {
+		a, b := m.Cells[i], got.Cells[i]
+		if a.Nodes != b.Nodes || a.Tasks != b.Tasks {
+			t.Fatal("cell coordinates corrupted")
+		}
+		if a.Full.AvgWaitingTimePerTask != b.Full.AvgWaitingTimePerTask ||
+			a.Partial.AvgWastedAreaPerTask != b.Partial.AvgWastedAreaPerTask {
+			t.Fatal("cell metrics corrupted")
+		}
+	}
+	// A loaded matrix still extracts figures for its node counts.
+	fig, err := got.Figure(dreamsim.Fig6a)
+	if err == nil {
+		_ = fig // 30-node matrix has no 100-node figure; error expected
+		t.Fatal("figure extracted for absent node count")
+	}
+}
+
+func TestSaveMatrixRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := dreamsim.SaveMatrix(&buf, &dreamsim.Matrix{}); err == nil {
+		t.Fatal("empty matrix saved")
+	}
+	if err := dreamsim.SaveMatrix(&buf, nil); err == nil {
+		t.Fatal("nil matrix saved")
+	}
+}
+
+func TestLoadMatrixRejects(t *testing.T) {
+	if _, err := dreamsim.LoadMatrix(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := dreamsim.LoadMatrix(strings.NewReader(`{"version":99,"cells":[{}]}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := dreamsim.LoadMatrix(strings.NewReader(`{"version":1,"cells":[]}`)); err == nil {
+		t.Fatal("empty store accepted")
+	}
+}
+
+func TestDiffMatrices(t *testing.T) {
+	a := smallMatrix(t, 5)
+	b := smallMatrix(t, 99)
+	diff := dreamsim.DiffMatrices(a, b, func(r dreamsim.Result) float64 {
+		return r.AvgWaitingTimePerTask
+	})
+	if len(diff) != 2 {
+		t.Fatalf("diff cells: %v", diff)
+	}
+	for key, rel := range diff {
+		if math.IsNaN(rel) || math.IsInf(rel, 0) {
+			t.Fatalf("diff %s = %v", key, rel)
+		}
+		// Different seeds must move the metric, but not by orders of
+		// magnitude.
+		if rel == 0 || math.Abs(rel) > 3 {
+			t.Fatalf("diff %s = %v implausible", key, rel)
+		}
+	}
+	// Identity diff is exactly zero.
+	self := dreamsim.DiffMatrices(a, a, func(r dreamsim.Result) float64 {
+		return r.AvgWaitingTimePerTask
+	})
+	for key, rel := range self {
+		if rel != 0 {
+			t.Fatalf("self diff %s = %v", key, rel)
+		}
+	}
+}
