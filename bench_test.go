@@ -14,6 +14,7 @@
 package dreamsim_test
 
 import (
+	"runtime"
 	"testing"
 
 	"dreamsim"
@@ -297,6 +298,46 @@ func BenchmarkAblationClock(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Sweep engine ---
+
+// sweepGrid is the matrix the sweep benchmarks time: 3×3 cells, two
+// scenarios each, so 18 independent simulations per iteration.
+var sweepNodes = []int{50, 100, 150}
+var sweepTasks = []int{500, 1000, 1500}
+
+func benchMatrix(b *testing.B, parallel int, fastSearch bool) {
+	b.Helper()
+	p := dreamsim.DefaultParams()
+	p.Parallelism = parallel
+	p.FastSearch = fastSearch
+	cells := len(sweepNodes) * len(sweepTasks)
+	for i := 0; i < b.N; i++ {
+		if _, err := dreamsim.RunMatrix(p, sweepNodes, sweepTasks, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cells)*float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+}
+
+// BenchmarkMatrixSweep is the sequential baseline for the parallel
+// experiment engine.
+func BenchmarkMatrixSweep(b *testing.B) {
+	benchMatrix(b, 1, false)
+}
+
+// BenchmarkParallelMatrixSweep fans the same grid over all cores;
+// results are byte-identical to BenchmarkMatrixSweep (see
+// TestMatrixParallelDeterminism), only wall time changes.
+func BenchmarkParallelMatrixSweep(b *testing.B) {
+	benchMatrix(b, runtime.NumCPU(), false)
+}
+
+// BenchmarkMatrixSweepFastSearch measures the indexed resource-search
+// path under the same grid (sequential, to isolate its effect).
+func BenchmarkMatrixSweepFastSearch(b *testing.B) {
+	benchMatrix(b, 1, true)
 }
 
 // BenchmarkThroughput reports simulator throughput in tasks/second —

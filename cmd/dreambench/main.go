@@ -1,0 +1,134 @@
+// Command dreambench times the experiment engine: it runs the same
+// sweep matrix sequentially and in parallel (and optionally with the
+// indexed resource-search fast path) in one process, then writes a
+// machine-readable BENCH_<date>.json with ns-per-sweep, cells/sec and
+// the parallel speedup. The committed BENCH files give each change a
+// performance paper trail.
+//
+// Examples:
+//
+//	dreambench
+//	dreambench -scale 2000 -parallel 8 -out .
+//	dreambench -fast-search
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"dreamsim"
+)
+
+// sweep is one timed configuration of the engine.
+type sweep struct {
+	Label       string  `json:"label"`
+	Parallel    int     `json:"parallel"`
+	FastSearch  bool    `json:"fast_search"`
+	Runs        int     `json:"runs"`
+	NsPerSweep  int64   `json:"ns_per_sweep"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
+
+// report is the BENCH_<date>.json schema.
+type report struct {
+	Date      string  `json:"date"`
+	GoVersion string  `json:"go_version"`
+	CPUs      int     `json:"cpus"`
+	NodesGrid []int   `json:"nodes_grid"`
+	TasksGrid []int   `json:"tasks_grid"`
+	Cells     int     `json:"cells"`
+	Seed      uint64  `json:"seed"`
+	Sweeps    []sweep `json:"sweeps"`
+	Speedup   float64 `json:"parallel_speedup"`
+}
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 1500, "largest task count in the benchmark grid")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", dreamsim.DefaultParallelism(), "worker count for the parallel sweep")
+		fast     = flag.Bool("fast-search", false, "also time the indexed resource-search path")
+		runs     = flag.Int("runs", 3, "timed repetitions per configuration (best run is reported)")
+		outDir   = flag.String("out", "", "directory for BENCH_<date>.json (default: print to stdout only)")
+	)
+	flag.Parse()
+
+	nodesGrid := []int{50, 100, 150}
+	tasksGrid := []int{*scale / 3, 2 * *scale / 3, *scale}
+	cells := len(nodesGrid) * len(tasksGrid)
+
+	base := dreamsim.DefaultParams()
+	base.Seed = *seed
+
+	time1 := func(p dreamsim.Params) time.Duration {
+		start := time.Now()
+		if _, err := dreamsim.RunMatrix(p, nodesGrid, tasksGrid, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "dreambench:", err)
+			os.Exit(1)
+		}
+		return time.Since(start)
+	}
+	best := func(p dreamsim.Params) time.Duration {
+		min := time1(p) // warm-up counts: first run is often representative on small grids
+		for i := 1; i < *runs; i++ {
+			if d := time1(p); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	mkSweep := func(label string, par int, fastSearch bool) sweep {
+		p := base
+		p.Parallelism = par
+		p.FastSearch = fastSearch
+		d := best(p)
+		fmt.Fprintf(os.Stderr, "%-12s parallel=%-3d fast=%-5v  %12v  %7.1f cells/s\n",
+			label, par, fastSearch, d, float64(cells)/d.Seconds())
+		return sweep{
+			Label:       label,
+			Parallel:    par,
+			FastSearch:  fastSearch,
+			Runs:        *runs,
+			NsPerSweep:  d.Nanoseconds(),
+			CellsPerSec: float64(cells) / d.Seconds(),
+		}
+	}
+
+	rep := report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		NodesGrid: nodesGrid,
+		TasksGrid: tasksGrid,
+		Cells:     cells,
+		Seed:      *seed,
+	}
+	seq := mkSweep("sequential", 1, false)
+	par := mkSweep("parallel", *parallel, false)
+	rep.Sweeps = append(rep.Sweeps, seq, par)
+	if *fast {
+		rep.Sweeps = append(rep.Sweeps, mkSweep("fast-search", 1, true))
+	}
+	rep.Speedup = float64(seq.NsPerSweep) / float64(par.NsPerSweep)
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dreambench:", err)
+		os.Exit(1)
+	}
+	out = append(out, '\n')
+	fmt.Printf("%s", out)
+	if *outDir != "" {
+		path := filepath.Join(*outDir, "BENCH_"+rep.Date+".json")
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dreambench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+}

@@ -42,6 +42,8 @@ func main() {
 		phases      = flag.Bool("phases", false, "print the per-phase placement census")
 		timeline    = flag.Bool("timeline", false, "print utilization/queue sparklines over the run")
 		replicate   = flag.Int("replicate", 0, "replicate the run over N seeds and print metric statistics")
+		parallel    = flag.Int("parallel", dreamsim.DefaultParallelism(), "workers for -compare/-replicate fan-out (1 = sequential)")
+		fastSearch  = flag.Bool("fast-search", false, "use the indexed resource-search fast path (identical results and counters)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,8 @@ func main() {
 	p.BitstreamBandwidth = *bsBW
 	p.DataBandwidth = *dataBW
 	p.TickStep = *tickStep
+	p.Parallelism = *parallel
+	p.FastSearch = *fastSearch
 	if *timeline {
 		p.SampleEvery = 1
 	}

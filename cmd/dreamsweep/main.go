@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"dreamsim"
 )
@@ -30,6 +32,10 @@ func main() {
 		noPlot     = flag.Bool("no-plot", false, "suppress ASCII plots")
 		jsonOut    = flag.String("json", "", "save the full sweep matrix as JSON ('all' mode only)")
 		printParms = flag.Bool("print-params", false, "print the Table II simulation parameters and exit")
+		parallel   = flag.Int("parallel", dreamsim.DefaultParallelism(), "concurrent sweep workers (1 = sequential; results identical either way)")
+		fastSearch = flag.Bool("fast-search", false, "use the indexed resource-search fast path (identical results and counters)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,8 +44,37 @@ func main() {
 		return
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+	}
+	// flushProfiles runs before every exit path (fail() and the
+	// shape-mismatch exit bypass defers via os.Exit).
+	flushProfiles := func() {
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dreamsweep:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dreamsweep:", err)
+			}
+			f.Close()
+		}
+	}
+	onExit = flushProfiles
+	defer flushProfiles()
+
 	base := dreamsim.DefaultParams()
 	base.Seed = *seed
+	base.Parallelism = *parallel
+	base.FastSearch = *fastSearch
 	grid := dreamsim.ScaledTaskCounts(*scale)
 
 	if *outDir != "" {
@@ -90,6 +125,7 @@ func main() {
 	}
 	if !allHold {
 		fmt.Fprintln(os.Stderr, "dreamsweep: some figure shapes were NOT reproduced")
+		flushProfiles()
 		os.Exit(2)
 	}
 }
@@ -116,9 +152,14 @@ func printTableII() {
 	}
 }
 
+// onExit flushes any in-flight profiles before an error exit; main
+// replaces it once profiling is configured.
+var onExit = func() {}
+
 func fail(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dreamsweep:", err)
+		onExit()
 		os.Exit(1)
 	}
 }

@@ -25,10 +25,12 @@
 package dreamsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"dreamsim/internal/core"
+	"dreamsim/internal/exec"
 	"dreamsim/internal/metrics"
 	"dreamsim/internal/monitor"
 	"dreamsim/internal/netmodel"
@@ -121,6 +123,22 @@ type Params struct {
 	// N-th placement/completion; the series lands in
 	// Result.Timeline/TimelineText.
 	SampleEvery int
+
+	// Parallelism bounds how many independent simulation units the
+	// experiment helpers (Compare, RunMatrix, RunFigure, RunReplicated,
+	// ComparePaired) execute concurrently. 0 and 1 both mean
+	// sequential; DefaultParallelism() uses every CPU. Results are
+	// byte-identical at any value because each unit derives all of its
+	// randomness from its own Params — parallelism only changes wall-
+	// clock time. A single Run is unaffected.
+	Parallelism int
+	// FastSearch replaces the resource information manager's linear
+	// placement searches with an area-ordered node index (O(log n)
+	// instead of O(n) per search). Results and all Table I counters
+	// are identical to the linear mode: the paper's SearchLength /
+	// workload accounting is a model output, so the fast path charges
+	// exactly the steps the metered linear walk would have charged.
+	FastSearch bool
 }
 
 // DefaultParams returns the paper's Table II parameter values with
@@ -219,6 +237,7 @@ func (p Params) coreParams() (core.Params, error) {
 			DataBandwidth:      p.DataBandwidth,
 		},
 		TickStep:        p.TickStep,
+		FastSearch:      p.FastSearch,
 		MaxSusRetries:   p.MaxSusRetries,
 		DefragThreshold: p.DefragThreshold,
 	}
@@ -347,14 +366,19 @@ func GenerateTrace(w io.Writer, p Params) error {
 
 // Compare runs the full- and partial-reconfiguration scenarios over
 // identical inputs (same seed) — the paper's head-to-head experiment.
+// With Params.Parallelism > 1 the two scenarios run concurrently;
+// results are identical either way.
 func Compare(p Params) (full, partial Result, err error) {
-	p.PartialReconfig = false
-	if full, err = Run(p); err != nil {
-		return
+	res, err := exec.Map(context.Background(), workersFor(p.Parallelism, 2), 2,
+		func(_ context.Context, i int) (Result, error) {
+			q := p
+			q.PartialReconfig = i == 1
+			return Run(q)
+		})
+	if err != nil {
+		return Result{}, Result{}, err
 	}
-	p.PartialReconfig = true
-	partial, err = Run(p)
-	return
+	return res[0], res[1], nil
 }
 
 // wrap converts an engine result to the public form.

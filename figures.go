@@ -104,32 +104,18 @@ type Figure struct {
 // RunFigure regenerates one figure over the given task grid (nil =
 // PaperTaskCounts). All runs share base's parameters except node
 // count (fixed by the figure), task count (the x axis) and scenario.
+// The underlying cells run through the matrix engine, so
+// base.Parallelism of them execute concurrently.
 func RunFigure(id FigureID, taskCounts []int, base Params) (Figure, error) {
 	spec, ok := figureRegistry[id]
 	if !ok {
 		return Figure{}, fmt.Errorf("dreamsim: unknown figure %q", id)
 	}
-	if taskCounts == nil {
-		taskCounts = PaperTaskCounts
+	m, err := RunMatrix(base, []int{spec.nodes}, taskCounts, nil)
+	if err != nil {
+		return Figure{}, fmt.Errorf("dreamsim: figure %s: %w", id, err)
 	}
-	fig := Figure{
-		ID: id, Title: spec.title,
-		XLabel: "total tasks generated", YLabel: spec.ylabel,
-		Nodes: spec.nodes, TaskCounts: taskCounts,
-		PartialBelowExpected: spec.expectPartialBelow,
-	}
-	for _, tasks := range taskCounts {
-		p := base
-		p.Nodes = spec.nodes
-		p.Tasks = tasks
-		full, partial, err := Compare(p)
-		if err != nil {
-			return Figure{}, fmt.Errorf("dreamsim: figure %s at %d tasks: %w", id, tasks, err)
-		}
-		fig.Without = append(fig.Without, spec.metric(full))
-		fig.With = append(fig.With, spec.metric(partial))
-	}
-	return fig, nil
+	return m.Figure(id)
 }
 
 // ShapeHolds reports whether the paper's curve ordering holds at

@@ -49,6 +49,11 @@ type Params struct {
 	// TickStep forces the paper-literal tick-by-tick clock instead of
 	// event jumping. Results are identical; wall time is not.
 	TickStep bool
+	// FastSearch enables the resource information manager's indexed
+	// placement searches (O(log n) instead of O(n) per search).
+	// Results and all metered counters are identical to the linear
+	// mode; only wall time changes.
+	FastSearch bool
 	// Debug validates all structural invariants after every event;
 	// expensive, meant for tests.
 	Debug bool
@@ -135,7 +140,11 @@ func New(params Params) (*Simulator, error) {
 	params.Net.AssignDelays(delayR, nodes)
 
 	counters := &metrics.Counters{}
-	mgr, err := resinfo.New(nodes, configs, counters)
+	var mgrOpts []resinfo.Option
+	if params.FastSearch {
+		mgrOpts = append(mgrOpts, resinfo.WithFastSearch())
+	}
+	mgr, err := resinfo.New(nodes, configs, counters, mgrOpts...)
 	if err != nil {
 		return nil, err
 	}

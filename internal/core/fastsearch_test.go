@@ -1,0 +1,58 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFastSearchCounterEquivalence runs full simulations with the
+// indexed search path on and off; every counter — including
+// SchedulerSearch and HousekeepingSteps, whose charging the fast path
+// must replicate step for step — has to come out identical.
+func TestFastSearchCounterEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name string
+		tune func(*Params)
+	}{
+		{"full-reconfig", func(p *Params) { p.Partial = false }},
+		{"partial-reconfig", func(p *Params) { p.Partial = true }},
+		{"heterogeneous-caps", func(p *Params) {
+			p.Partial = true
+			p.Spec.CapKinds = []string{"bram", "dsp"}
+			p.Spec.NodeCapProb = 0.7
+			p.Spec.ConfigCapProb = 0.3
+		}},
+		{"defrag", func(p *Params) {
+			p.Partial = true
+			p.DefragThreshold = 3
+		}},
+		{"bounded-retries", func(p *Params) {
+			p.Partial = true
+			p.MaxSusRetries = 2
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			base := smallParams(40, 600, true)
+			sc.tune(&base)
+
+			lin := base
+			lin.FastSearch = false
+			fast := base
+			fast.FastSearch = true
+
+			lres := mustRun(t, lin)
+			fres := mustRun(t, fast)
+
+			if lres.Counters != fres.Counters {
+				t.Fatalf("counters diverged:\nlinear %+v\nfast   %+v", lres.Counters, fres.Counters)
+			}
+			if lres.Report != fres.Report {
+				t.Fatalf("reports diverged:\nlinear %+v\nfast   %+v", lres.Report, fres.Report)
+			}
+			if !reflect.DeepEqual(lres.Final, fres.Final) {
+				t.Fatalf("final snapshots diverged")
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+// Package exec is the experiment-level parallel executor: it fans
+// independent simulation units (matrix cells, scenario halves,
+// replication seeds) out across a bounded worker pool. Units are
+// claimed in index order, results are assembled by index, and the
+// first unit error cancels the remaining unclaimed units via context
+// — so a failed sweep reports the same error a sequential sweep
+// would, and a successful sweep produces results in the same slots
+// regardless of worker count or OS scheduling.
+//
+// The executor imposes no determinism of its own; it relies on every
+// unit being a pure function of its index (in DReAMSim each unit
+// derives all randomness from its own Params.Seed), which is what
+// makes parallel sweeps byte-identical to sequential ones.
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs n independent units on at most workers goroutines. Units
+// are claimed in index order; workers <= 1 degenerates to a plain
+// sequential loop (today's behavior, zero goroutines). The first
+// error — by unit index, not by wall-clock — is returned, and its
+// occurrence cancels the context passed to still-unclaimed units.
+// A cancelled parent context is returned as-is.
+func Do(ctx context.Context, workers, n int, unit func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := unit(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				if err := unit(wctx, i); err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the lowest-index failure so the error a caller sees does
+	// not depend on goroutine scheduling.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Map runs fn for every index in [0, n) under Do's scheduling rules
+// and assembles the results in index order. On error the partial
+// results are discarded.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Do(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -39,6 +39,44 @@ func (s NodeState) String() string {
 	}
 }
 
+// CapBits assigns one bit per capability name, in first-seen order —
+// the dense encoding the indexed placement search uses for O(1)
+// subset tests over node caps and configuration RequiredCaps. It
+// returns false when the name space exceeds 64 capabilities (callers
+// then fall back to string subset tests).
+func CapBits(capLists ...[]string) (map[string]uint64, bool) {
+	bits := make(map[string]uint64)
+	next := uint(0)
+	for _, caps := range capLists {
+		for _, c := range caps {
+			if _, ok := bits[c]; ok {
+				continue
+			}
+			if next >= 64 {
+				return nil, false
+			}
+			bits[c] = 1 << next
+			next++
+		}
+	}
+	return bits, true
+}
+
+// CapMaskOf folds a capability list into its bitmask under the given
+// assignment. Names absent from the assignment report false —
+// the mask cannot represent them.
+func CapMaskOf(bits map[string]uint64, caps []string) (uint64, bool) {
+	var mask uint64
+	for _, c := range caps {
+		b, ok := bits[c]
+		if !ok {
+			return 0, false
+		}
+		mask |= b
+	}
+	return mask, true
+}
+
 // TaskStatus tracks a task through its lifecycle.
 type TaskStatus int
 

@@ -1,0 +1,409 @@
+package resinfo
+
+// The indexed placement-search fast path. The paper meters the
+// resource information manager's node searches as linear walks
+// ("currently a simple linear search is employed", §IV-C), but the
+// metering is a model output, not an execution constraint: this index
+// answers the same queries in O(log n) while the Manager keeps
+// charging the counters the metered linear walk would have charged,
+// so Results are bit-identical between the two modes.
+//
+// Structure: nodes are bucketed by capability mask (one bucket per
+// distinct caps set; the homogeneous paper population is a single
+// bucket) and each bucket maintains three area-ordered sets —
+//
+//	blank  nodes, keyed by (TotalArea, position)      → BestBlankNode
+//	partial-mode configured nodes, (AvailableArea, _) → BestPartiallyBlankNode
+//	busy   nodes, keyed by (TotalArea, position)      → AnyBusyNodeCouldFit
+//
+// Ordering by (area, node position) reproduces the linear scans'
+// tie-break exactly: a strict `<` comparison keeps the earliest
+// minimum, i.e. the lexicographic minimum of (area, position). The
+// busy set is additionally augmented with subtree-minimum positions
+// so the *first matching position* — which the linear walk's
+// early-exit step count depends on — is an O(log n) query too.
+//
+// Sets are deterministic treaps (priorities hashed from the node
+// position), maintained incrementally by Manager.reindex on every
+// Configure / EvictIdle / BlankNode / StartTask / FinishTask
+// transition. Index maintenance charges no counters: the model's
+// accounting describes the simulated linear-search scheduler, not the
+// host data structure.
+
+import (
+	"fmt"
+
+	"dreamsim/internal/model"
+)
+
+// tnode is one treap element: the key (area, pos) with a deterministic
+// heap priority and the minimum pos of its subtree.
+type tnode struct {
+	area        int64
+	pos         int
+	prio        uint64
+	minPos      int
+	left, right *tnode
+}
+
+// tLess orders keys by (area, pos).
+func tLess(a1 int64, p1 int, a2 int64, p2 int) bool {
+	return a1 < a2 || (a1 == a2 && p1 < p2)
+}
+
+// prioFor hashes a node position into a treap priority (SplitMix64
+// scramble); deterministic so index shape never varies across runs.
+func prioFor(pos int) uint64 {
+	z := uint64(pos)*0x9e3779b97f4a7c15 + 0xd1b54a32d192ed03
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (n *tnode) pull() {
+	n.minPos = n.pos
+	if n.left != nil && n.left.minPos < n.minPos {
+		n.minPos = n.left.minPos
+	}
+	if n.right != nil && n.right.minPos < n.minPos {
+		n.minPos = n.right.minPos
+	}
+}
+
+func rotRight(n *tnode) *tnode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.pull()
+	l.pull()
+	return l
+}
+
+func rotLeft(n *tnode) *tnode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.pull()
+	r.pull()
+	return r
+}
+
+// treap is an ordered set of (area, pos) keys. The zero value is an
+// empty set.
+type treap struct {
+	root *tnode
+}
+
+func (t *treap) insert(area int64, pos int) {
+	t.root = tInsert(t.root, &tnode{area: area, pos: pos, prio: prioFor(pos), minPos: pos})
+}
+
+func tInsert(n, x *tnode) *tnode {
+	if n == nil {
+		return x
+	}
+	if tLess(x.area, x.pos, n.area, n.pos) {
+		n.left = tInsert(n.left, x)
+		if n.left.prio > n.prio {
+			n = rotRight(n)
+		}
+	} else {
+		n.right = tInsert(n.right, x)
+		if n.right.prio > n.prio {
+			n = rotLeft(n)
+		}
+	}
+	n.pull()
+	return n
+}
+
+func (t *treap) remove(area int64, pos int) bool {
+	var ok bool
+	t.root, ok = tRemove(t.root, area, pos)
+	return ok
+}
+
+func tRemove(n *tnode, area int64, pos int) (*tnode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	if area == n.area && pos == n.pos {
+		return tMerge(n.left, n.right), true
+	}
+	var ok bool
+	if tLess(area, pos, n.area, n.pos) {
+		n.left, ok = tRemove(n.left, area, pos)
+	} else {
+		n.right, ok = tRemove(n.right, area, pos)
+	}
+	n.pull()
+	return n, ok
+}
+
+func tMerge(a, b *tnode) *tnode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio > b.prio {
+		a.right = tMerge(a.right, b)
+		a.pull()
+		return a
+	}
+	b.left = tMerge(a, b.left)
+	b.pull()
+	return b
+}
+
+// ceil returns the lexicographically smallest (area, pos) with
+// area >= minArea — exactly the element a strict-less linear scan
+// for the minimum sufficient area would keep.
+func (t *treap) ceil(minArea int64) (area int64, pos int, ok bool) {
+	var best *tnode
+	for n := t.root; n != nil; {
+		if n.area >= minArea {
+			best = n
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if best == nil {
+		return 0, 0, false
+	}
+	return best.area, best.pos, true
+}
+
+// minPosGE returns the smallest pos among elements with area >=
+// minArea — the position at which a linear early-exit walk would have
+// stopped.
+func (t *treap) minPosGE(minArea int64) (int, bool) {
+	best := -1
+	for n := t.root; n != nil; {
+		if n.area >= minArea {
+			// n and its whole right subtree qualify; the left subtree
+			// may still hold qualifying smaller keys.
+			if best < 0 || n.pos < best {
+				best = n.pos
+			}
+			if n.right != nil && n.right.minPos < best {
+				best = n.right.minPos
+			}
+			n = n.left
+		} else {
+			// Everything left of a too-small key is smaller still.
+			n = n.right
+		}
+	}
+	return best, best >= 0
+}
+
+// contains reports set membership (invariant checking).
+func (t *treap) contains(area int64, pos int) bool {
+	for n := t.root; n != nil; {
+		if area == n.area && pos == n.pos {
+			return true
+		}
+		if tLess(area, pos, n.area, n.pos) {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return false
+}
+
+// maskBucket holds the three search sets of one capability mask.
+type maskBucket struct {
+	blank treap // key (TotalArea, pos)
+	part  treap // key (AvailableArea, pos)
+	busy  treap // key (TotalArea, pos)
+}
+
+// idxState caches a node's index membership so transitions diff
+// against it instead of searching the treaps.
+type idxState struct {
+	mask  uint64
+	blank bool
+	part  bool
+	busy  bool
+	pArea int64 // AvailableArea key the node sits under in `part`
+}
+
+// nodeIndex is the whole accelerator: capability buckets plus the
+// per-node membership cache.
+type nodeIndex struct {
+	nodes   []*model.Node
+	capBits map[string]uint64
+	masks   []uint64 // distinct node masks, creation order
+	buckets map[uint64]*maskBucket
+	state   []idxState
+	pos     map[*model.Node]int
+}
+
+// newNodeIndex builds the index over the node population. It reports
+// failure (nil, false) when the capability name space exceeds the
+// 64-bit mask encoding; callers then stay on the linear path.
+func newNodeIndex(nodes []*model.Node, configs []*model.Config) (*nodeIndex, bool) {
+	capLists := make([][]string, 0, len(nodes)+len(configs))
+	for _, n := range nodes {
+		capLists = append(capLists, n.Caps)
+	}
+	for _, c := range configs {
+		capLists = append(capLists, c.RequiredCaps)
+	}
+	bits, ok := model.CapBits(capLists...)
+	if !ok {
+		return nil, false
+	}
+	ix := &nodeIndex{
+		nodes:   nodes,
+		capBits: bits,
+		buckets: make(map[uint64]*maskBucket),
+		state:   make([]idxState, len(nodes)),
+		pos:     make(map[*model.Node]int, len(nodes)),
+	}
+	for i, n := range nodes {
+		mask, _ := model.CapMaskOf(bits, n.Caps) // all names registered above
+		if _, seen := ix.buckets[mask]; !seen {
+			ix.buckets[mask] = &maskBucket{}
+			ix.masks = append(ix.masks, mask)
+		}
+		ix.pos[n] = i
+		ix.state[i] = idxState{mask: mask}
+		ix.sync(i, n)
+	}
+	return ix, true
+}
+
+// sync reconciles one node's index membership with its actual state
+// after a transition; O(log n).
+func (ix *nodeIndex) sync(pos int, n *model.Node) {
+	st := &ix.state[pos]
+	b := ix.buckets[st.mask]
+	blank := n.Blank()
+	part := n.PartialMode && !blank
+	busy := n.State() == model.StateBusy
+
+	if blank != st.blank {
+		if blank {
+			b.blank.insert(n.TotalArea, pos)
+		} else {
+			b.blank.remove(n.TotalArea, pos)
+		}
+		st.blank = blank
+	}
+	if part != st.part || (part && st.pArea != n.AvailableArea) {
+		if st.part {
+			b.part.remove(st.pArea, pos)
+		}
+		if part {
+			b.part.insert(n.AvailableArea, pos)
+			st.pArea = n.AvailableArea
+		}
+		st.part = part
+	}
+	if busy != st.busy {
+		if busy {
+			b.busy.insert(n.TotalArea, pos)
+		} else {
+			b.busy.remove(n.TotalArea, pos)
+		}
+		st.busy = busy
+	}
+}
+
+// reqMask encodes a configuration's required caps; ok is false when a
+// required capability exists on no node and no config, i.e. nothing
+// can ever match.
+func (ix *nodeIndex) reqMask(caps []string) (uint64, bool) {
+	return model.CapMaskOf(ix.capBits, caps)
+}
+
+// bestBlank returns the blank, capability-compatible node with the
+// lexicographically minimal (TotalArea, position) among those with
+// TotalArea >= reqArea — the node the metered linear scan returns.
+func (ix *nodeIndex) bestBlank(cfg *model.Config) *model.Node {
+	return ix.best(cfg, func(b *maskBucket) *treap { return &b.blank })
+}
+
+// bestPart is the same query over partial-mode configured nodes and
+// their AvailableArea.
+func (ix *nodeIndex) bestPart(cfg *model.Config) *model.Node {
+	return ix.best(cfg, func(b *maskBucket) *treap { return &b.part })
+}
+
+func (ix *nodeIndex) best(cfg *model.Config, set func(*maskBucket) *treap) *model.Node {
+	req, ok := ix.reqMask(cfg.RequiredCaps)
+	if !ok {
+		return nil
+	}
+	bestPos := -1
+	var bestArea int64
+	for _, mask := range ix.masks {
+		if mask&req != req {
+			continue
+		}
+		area, pos, ok := set(ix.buckets[mask]).ceil(cfg.ReqArea)
+		if !ok {
+			continue
+		}
+		if bestPos < 0 || tLess(area, pos, bestArea, bestPos) {
+			bestArea, bestPos = area, pos
+		}
+	}
+	if bestPos < 0 {
+		return nil
+	}
+	return ix.nodes[bestPos]
+}
+
+// firstBusyFit returns the position of the first busy, compatible
+// node with TotalArea >= reqArea — i.e. where the linear early-exit
+// walk would have stopped — or -1 when none exists.
+func (ix *nodeIndex) firstBusyFit(cfg *model.Config) int {
+	req, ok := ix.reqMask(cfg.RequiredCaps)
+	if !ok {
+		return -1
+	}
+	best := -1
+	for _, mask := range ix.masks {
+		if mask&req != req {
+			continue
+		}
+		if pos, ok := ix.buckets[mask].busy.minPosGE(cfg.ReqArea); ok && (best < 0 || pos < best) {
+			best = pos
+		}
+	}
+	return best
+}
+
+// check validates the index against the ground-truth node states
+// (tests and the engine's debug mode).
+func (ix *nodeIndex) check() error {
+	for i, n := range ix.nodes {
+		st := ix.state[i]
+		b := ix.buckets[st.mask]
+		blank, part, busy := n.Blank(), n.PartialMode && !n.Blank(), n.State() == model.StateBusy
+		if st.blank != blank || st.part != part || st.busy != busy {
+			return fmt.Errorf("resinfo: index state for node %d is (blank=%v part=%v busy=%v), node is (%v %v %v)",
+				n.No, st.blank, st.part, st.busy, blank, part, busy)
+		}
+		if part && st.pArea != n.AvailableArea {
+			return fmt.Errorf("resinfo: index key %d for node %d, AvailableArea is %d",
+				st.pArea, n.No, n.AvailableArea)
+		}
+		if blank != b.blank.contains(n.TotalArea, i) {
+			return fmt.Errorf("resinfo: blank-set membership of node %d inconsistent", n.No)
+		}
+		if part != b.part.contains(st.pArea, i) {
+			return fmt.Errorf("resinfo: partial-set membership of node %d inconsistent", n.No)
+		}
+		if busy != b.busy.contains(n.TotalArea, i) {
+			return fmt.Errorf("resinfo: busy-set membership of node %d inconsistent", n.No)
+		}
+	}
+	return nil
+}

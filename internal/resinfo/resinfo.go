@@ -9,6 +9,7 @@ package resinfo
 
 import (
 	"fmt"
+	"sort"
 
 	"dreamsim/internal/metrics"
 	"dreamsim/internal/model"
@@ -23,16 +24,40 @@ type Manager struct {
 	configs []*model.Config
 	pairs   map[int]reslists.Pair // config No -> idle/busy lists
 	c       *metrics.Counters
+
+	// Fast-search state (nil/empty when the linear paper paths run).
+	wantFast  bool
+	idx       *nodeIndex
+	cfgPos    map[int]int     // config No -> position in the list
+	cfgByArea []*model.Config // configs ordered by (ReqArea, position)
+}
+
+// Option customises a Manager at construction time.
+type Option func(*Manager)
+
+// WithFastSearch replaces the linear node and configuration searches
+// with indexed O(log n) equivalents. Search results and every metered
+// counter are identical to the linear mode: the index returns the
+// exact node the linear walk would have and charges the exact steps
+// the walk would have charged (the paper's search accounting is a
+// model output, not an execution constraint). Populations whose
+// capability name space exceeds 64 distinct names fall back to the
+// linear path silently; FastSearch reports whether the index is live.
+func WithFastSearch() Option {
+	return func(m *Manager) { m.wantFast = true }
 }
 
 // New builds a manager over the given resources. Config numbers must
 // be unique; the counters receive all metering.
-func New(nodes []*model.Node, configs []*model.Config, counters *metrics.Counters) (*Manager, error) {
+func New(nodes []*model.Node, configs []*model.Config, counters *metrics.Counters, opts ...Option) (*Manager, error) {
 	m := &Manager{
 		nodes:   nodes,
 		configs: configs,
 		pairs:   make(map[int]reslists.Pair, len(configs)),
 		c:       counters,
+	}
+	for _, opt := range opts {
+		opt(m)
 	}
 	for _, cfg := range configs {
 		if err := cfg.Validate(); err != nil {
@@ -45,7 +70,33 @@ func New(nodes []*model.Node, configs []*model.Config, counters *metrics.Counter
 	}
 	counters.TotalNodes = len(nodes)
 	counters.TotalConfigs = len(configs)
+	if m.wantFast {
+		if idx, ok := newNodeIndex(nodes, configs); ok {
+			m.idx = idx
+			m.cfgPos = make(map[int]int, len(configs))
+			for i, cfg := range configs {
+				m.cfgPos[cfg.No] = i
+			}
+			m.cfgByArea = append([]*model.Config(nil), configs...)
+			sort.SliceStable(m.cfgByArea, func(i, j int) bool {
+				return m.cfgByArea[i].ReqArea < m.cfgByArea[j].ReqArea
+			})
+		}
+	}
 	return m, nil
+}
+
+// FastSearch reports whether the indexed search path is active.
+func (m *Manager) FastSearch() bool { return m.idx != nil }
+
+// reindex reconciles the fast-search index after node changed state;
+// a no-op on the linear path. Maintenance charges no counters — the
+// metered workload describes the simulated linear-search scheduler,
+// not the host data structure.
+func (m *Manager) reindex(node *model.Node) {
+	if m.idx != nil {
+		m.idx.sync(m.idx.pos[node], node)
+	}
 }
 
 // Nodes returns the node list (callers must not mutate node state
@@ -87,10 +138,20 @@ func (m *Manager) ChargeSearch(n uint64) { m.search(n) }
 func (m *Manager) ChargeHousekeeping(n uint64) { m.housekeep(n) }
 
 // FindPreferredConfig searches the configurations list for cfgNo
-// (paper method; deliberately a metered linear search — "currently a
-// simple linear search is employed"). It returns nil when the
-// preferred configuration does not exist.
+// (paper method; metered as the linear search the paper describes —
+// "currently a simple linear search is employed"). It returns nil
+// when the preferred configuration does not exist. The fast path
+// answers from a hash map but charges the steps the walk would have
+// taken: the position of the hit, or the whole list on a miss.
 func (m *Manager) FindPreferredConfig(cfgNo int) *model.Config {
+	if m.cfgPos != nil {
+		if pos, ok := m.cfgPos[cfgNo]; ok {
+			m.search(uint64(pos) + 1)
+			return m.configs[pos]
+		}
+		m.search(uint64(len(m.configs)))
+		return nil
+	}
 	var steps uint64
 	for _, cfg := range m.configs {
 		steps++
@@ -108,6 +169,20 @@ func (m *Manager) FindPreferredConfig(cfgNo int) *model.Config {
 // neededArea (paper §IV-C). It returns nil when no configuration is
 // large enough.
 func (m *Manager) FindClosestConfig(neededArea model.Area) *model.Config {
+	if m.cfgByArea != nil {
+		// The linear scan keeps the first config holding the minimal
+		// sufficient ReqArea; in the (ReqArea, position)-ordered view
+		// that is the first element at or above neededArea. The walk
+		// always visits the whole list, so the whole list is charged.
+		m.search(uint64(len(m.configs)))
+		i := sort.Search(len(m.cfgByArea), func(i int) bool {
+			return m.cfgByArea[i].ReqArea >= neededArea
+		})
+		if i == len(m.cfgByArea) {
+			return nil
+		}
+		return m.cfgByArea[i]
+	}
 	var best *model.Config
 	var steps uint64
 	for _, cfg := range m.configs {
@@ -132,6 +207,7 @@ func (m *Manager) Configure(node *model.Node, cfg *model.Config) (*model.Entry, 
 	m.housekeep(1)
 	m.c.Reconfigurations++
 	m.c.ConfigurationTime += cfg.ConfigTime
+	m.reindex(node)
 	return e, nil
 }
 
@@ -144,6 +220,7 @@ func (m *Manager) EvictIdle(node *model.Node, victims []*model.Entry) error {
 	for _, v := range victims {
 		m.housekeep(m.Pair(v.Config.No).Drop(v))
 	}
+	m.reindex(node)
 	return nil
 }
 
@@ -157,6 +234,7 @@ func (m *Manager) BlankNode(node *model.Node) error {
 	for _, v := range removed {
 		m.housekeep(m.Pair(v.Config.No).Drop(v))
 	}
+	m.reindex(node)
 	return nil
 }
 
@@ -167,6 +245,7 @@ func (m *Manager) StartTask(e *model.Entry, task *model.Task) error {
 		return err
 	}
 	m.housekeep(m.Pair(e.Config.No).MarkBusy(e))
+	m.reindex(e.Node)
 	return nil
 }
 
@@ -178,6 +257,7 @@ func (m *Manager) FinishTask(node *model.Node, task *model.Task) (*model.Entry, 
 		return nil, err
 	}
 	m.housekeep(m.Pair(e.Config.No).MarkIdle(e))
+	m.reindex(node)
 	return e, nil
 }
 
@@ -200,8 +280,14 @@ func (m *Manager) BestIdleEntry(cfgNo int) *model.Entry {
 
 // BestBlankNode scans the node list for blank, capability-compatible
 // nodes that can hold cfg and returns the one with minimum sufficient
-// TotalArea.
+// TotalArea. The fast path answers the same query from the blank-node
+// index in O(log n); the walk always visits every node, so the whole
+// list is charged in both modes.
 func (m *Manager) BestBlankNode(cfg *model.Config) *model.Node {
+	if m.idx != nil {
+		m.search(uint64(len(m.nodes)))
+		return m.idx.bestBlank(cfg)
+	}
 	var best *model.Node
 	var steps uint64
 	for _, n := range m.nodes {
@@ -222,6 +308,10 @@ func (m *Manager) BestBlankNode(cfg *model.Config) *model.Node {
 // full-mode nodes never qualify because a configured full-mode node
 // has its fabric committed.
 func (m *Manager) BestPartiallyBlankNode(cfg *model.Config) *model.Node {
+	if m.idx != nil {
+		m.search(uint64(len(m.nodes)))
+		return m.idx.bestPart(cfg)
+	}
 	var best *model.Node
 	var steps uint64
 	for _, n := range m.nodes {
@@ -276,6 +366,18 @@ func (m *Manager) FindAnyIdleNode(cfg *model.Config) (*model.Node, []*model.Entr
 // nodes to search at least one currently busy node with sufficient
 // TotalArea").
 func (m *Manager) AnyBusyNodeCouldFit(cfg *model.Config) bool {
+	if m.idx != nil {
+		// The linear walk exits at the first match, so the charge is
+		// that node's position (+1) — which the busy index's subtree-
+		// minimum positions recover in O(log n) — or the whole list
+		// when no busy node fits.
+		if pos := m.idx.firstBusyFit(cfg); pos >= 0 {
+			m.search(uint64(pos) + 1)
+			return true
+		}
+		m.search(uint64(len(m.nodes)))
+		return false
+	}
 	var steps uint64
 	for _, n := range m.nodes {
 		steps++
@@ -340,6 +442,11 @@ func (m *Manager) CheckInvariants() error {
 			if !listed[e] {
 				return fmt.Errorf("resinfo: entry %v not in any list", e)
 			}
+		}
+	}
+	if m.idx != nil {
+		if err := m.idx.check(); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,6 +1,13 @@
 package dreamsim
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dreamsim/internal/exec"
+)
 
 // Cell is one experiment point: both scenarios at one (nodes, tasks)
 // coordinate, run over identical inputs.
@@ -18,12 +25,43 @@ type Matrix struct {
 	NodeCounts []int
 	TaskCounts []int
 	Cells      []Cell // row-major: node count outer, task count inner
+
+	// cellIdx maps (nodes, tasks) to the cell's index; built by
+	// RunMatrix and LoadMatrix so CellAt answers in O(1) instead of
+	// scanning the grid once per figure point.
+	cellIdx map[[2]int]int
+}
+
+// validateGrid rejects coordinate grids that would produce duplicate
+// (nodes, tasks) cells: every coordinate must map to exactly one cell
+// or CellAt (and every figure drawn through it) becomes ambiguous.
+func validateGrid(nodeCounts, taskCounts []int) error {
+	seenN := make(map[int]bool, len(nodeCounts))
+	for _, n := range nodeCounts {
+		if seenN[n] {
+			return fmt.Errorf("dreamsim: duplicate node count %d in matrix grid", n)
+		}
+		seenN[n] = true
+	}
+	seenT := make(map[int]bool, len(taskCounts))
+	for _, t := range taskCounts {
+		if seenT[t] {
+			return fmt.Errorf("dreamsim: duplicate task count %d in matrix grid", t)
+		}
+		seenT[t] = true
+	}
+	return nil
 }
 
 // RunMatrix sweeps both scenarios over the cross product of node and
 // task counts (nil grids default to the paper's {100, 200} ×
-// PaperTaskCounts). onCell, when non-nil, observes each finished cell
-// (progress reporting).
+// PaperTaskCounts). Every (cell, scenario) pair is an independent
+// simulation unit, so base.Parallelism of them run concurrently; the
+// assembled matrix is byte-identical to a sequential sweep. onCell,
+// when non-nil, observes each finished cell (progress reporting);
+// with Parallelism > 1 cells may finish — and be observed — out of
+// grid order, and onCell must be safe to call from the run's worker
+// goroutines (calls themselves are serialised).
 func RunMatrix(base Params, nodeCounts, taskCounts []int, onCell func(Cell)) (*Matrix, error) {
 	if nodeCounts == nil {
 		nodeCounts = []int{100, 200}
@@ -31,28 +69,80 @@ func RunMatrix(base Params, nodeCounts, taskCounts []int, onCell func(Cell)) (*M
 	if taskCounts == nil {
 		taskCounts = PaperTaskCounts
 	}
+	if err := validateGrid(nodeCounts, taskCounts); err != nil {
+		return nil, err
+	}
 	m := &Matrix{NodeCounts: nodeCounts, TaskCounts: taskCounts}
+	m.Cells = make([]Cell, 0, len(nodeCounts)*len(taskCounts))
 	for _, nodes := range nodeCounts {
 		for _, tasks := range taskCounts {
-			p := base
-			p.Nodes = nodes
-			p.Tasks = tasks
-			full, partial, err := Compare(p)
-			if err != nil {
-				return nil, fmt.Errorf("dreamsim: matrix cell %d nodes/%d tasks: %w", nodes, tasks, err)
-			}
-			cell := Cell{Nodes: nodes, Tasks: tasks, Full: full, Partial: partial}
-			m.Cells = append(m.Cells, cell)
-			if onCell != nil {
-				onCell(cell)
-			}
+			m.Cells = append(m.Cells, Cell{Nodes: nodes, Tasks: tasks})
 		}
 	}
+
+	// Two units per cell: the full and partial halves fan out
+	// independently (unit order full-then-partial per cell, so one
+	// worker reproduces the historical sequential order exactly).
+	pending := make([]atomic.Int32, len(m.Cells))
+	for i := range pending {
+		pending[i].Store(2)
+	}
+	var cellMu sync.Mutex
+	err := exec.Do(context.Background(), workersFor(base.Parallelism, 2*len(m.Cells)), 2*len(m.Cells),
+		func(_ context.Context, u int) error {
+			cell := &m.Cells[u/2]
+			p := base
+			p.Nodes = cell.Nodes
+			p.Tasks = cell.Tasks
+			p.PartialReconfig = u%2 == 1
+			res, err := Run(p)
+			if err != nil {
+				return fmt.Errorf("dreamsim: matrix cell %d nodes/%d tasks: %w", cell.Nodes, cell.Tasks, err)
+			}
+			if p.PartialReconfig {
+				cell.Partial = res
+			} else {
+				cell.Full = res
+			}
+			// The half that completes the cell reports it; the atomic
+			// decrement orders it after the sibling's result write.
+			if pending[u/2].Add(-1) == 0 && onCell != nil {
+				cellMu.Lock()
+				onCell(*cell)
+				cellMu.Unlock()
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	m.buildIndex()
 	return m, nil
 }
 
-// CellAt returns the cell at a coordinate, or nil if absent.
+// buildIndex (re)builds the coordinate map. The first cell at a
+// coordinate wins, matching the historical linear-scan behaviour for
+// hand-assembled matrices.
+func (m *Matrix) buildIndex() {
+	m.cellIdx = make(map[[2]int]int, len(m.Cells))
+	for i := range m.Cells {
+		key := [2]int{m.Cells[i].Nodes, m.Cells[i].Tasks}
+		if _, dup := m.cellIdx[key]; !dup {
+			m.cellIdx[key] = i
+		}
+	}
+}
+
+// CellAt returns the cell at a coordinate, or nil if absent. Matrices
+// built by RunMatrix or LoadMatrix answer from the coordinate map;
+// hand-assembled ones fall back to a scan.
 func (m *Matrix) CellAt(nodes, tasks int) *Cell {
+	if m.cellIdx != nil {
+		if i, ok := m.cellIdx[[2]int{nodes, tasks}]; ok {
+			return &m.Cells[i]
+		}
+		return nil
+	}
 	for i := range m.Cells {
 		if m.Cells[i].Nodes == nodes && m.Cells[i].Tasks == tasks {
 			return &m.Cells[i]

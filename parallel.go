@@ -1,0 +1,31 @@
+package dreamsim
+
+// The parallel experiment engine. A single simulation is inherently
+// sequential (one event loop mutating one resource population), but
+// every experiment helper above it — the full/partial halves of
+// Compare, the cells of RunMatrix, the seeds of RunReplicated and
+// ComparePaired — is a set of completely independent runs: each unit
+// derives all of its randomness from its own Params (seed, node
+// count, task count, scenario), never from shared state. Fanning the
+// units across a worker pool therefore yields byte-identical results
+// to a sequential sweep, regardless of worker count and OS
+// scheduling; only wall-clock time changes. Params.Parallelism
+// selects the worker count; internal/exec supplies the pool.
+
+import "runtime"
+
+// DefaultParallelism returns the worker count the CLI tools default
+// to: one worker per CPU.
+func DefaultParallelism() int { return runtime.NumCPU() }
+
+// workersFor normalises a Params.Parallelism value (0 and 1 both mean
+// sequential) and caps it at the number of available units.
+func workersFor(parallelism, units int) int {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > units {
+		parallelism = units
+	}
+	return parallelism
+}

@@ -1,9 +1,11 @@
 package dreamsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"dreamsim/internal/exec"
 	"dreamsim/internal/metrics"
 	"dreamsim/internal/report"
 	"dreamsim/internal/stats"
@@ -25,18 +27,29 @@ type MetricStats struct {
 // aggregates every Table I metric across the runs — the standard way
 // to attach confidence to simulator outputs (the paper reports single
 // runs; replication shows its orderings are not seed artifacts).
+// Seeds are independent units: p.Parallelism of them run
+// concurrently, and the aggregation always folds results in seed
+// order, so the statistics are identical at any worker count.
 func RunReplicated(p Params, seeds []uint64) ([]MetricStats, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("dreamsim: RunReplicated needs at least one seed")
 	}
+	results, err := exec.Map(context.Background(), workersFor(p.Parallelism, len(seeds)), len(seeds),
+		func(_ context.Context, i int) (Result, error) {
+			q := p
+			q.Seed = seeds[i]
+			res, err := Run(q)
+			if err != nil {
+				return Result{}, fmt.Errorf("dreamsim: seed %d: %w", seeds[i], err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	accum := map[string]*metrics.Running{}
 	var order []string
-	for _, seed := range seeds {
-		p.Seed = seed
-		res, err := Run(p)
-		if err != nil {
-			return nil, fmt.Errorf("dreamsim: seed %d: %w", seed, err)
-		}
+	for _, res := range results {
 		for _, row := range report.MetricRows(res.rep) {
 			r := accum[row.Name]
 			if r == nil {
@@ -92,27 +105,40 @@ type PairedMetric struct {
 // ComparePaired runs both reconfiguration scenarios under each seed
 // (each pair over identical inputs) and reports, per Table I metric,
 // the paired difference with confidence — statistical backing for
-// the paper's single-run comparisons.
+// the paper's single-run comparisons. Seed pairs fan out across
+// p.Parallelism workers (each pair runs its two scenarios
+// sequentially so total concurrency stays bounded); the statistics
+// fold in seed order and are identical at any worker count.
 func ComparePaired(p Params, seeds []uint64) ([]PairedMetric, error) {
 	if len(seeds) < 2 {
 		return nil, fmt.Errorf("dreamsim: ComparePaired needs at least two seeds")
 	}
+	type pair struct{ full, partial Result }
+	pairs, err := exec.Map(context.Background(), workersFor(p.Parallelism, len(seeds)), len(seeds),
+		func(_ context.Context, i int) (pair, error) {
+			q := p
+			q.Seed = seeds[i]
+			q.Parallelism = 1 // the seed fan-out is the unit of parallelism
+			full, partial, err := Compare(q)
+			if err != nil {
+				return pair{}, fmt.Errorf("dreamsim: seed %d: %w", seeds[i], err)
+			}
+			return pair{full: full, partial: partial}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	fullVals := map[string][]float64{}
 	partVals := map[string][]float64{}
 	var order []string
-	for _, seed := range seeds {
-		p.Seed = seed
-		full, partial, err := Compare(p)
-		if err != nil {
-			return nil, fmt.Errorf("dreamsim: seed %d: %w", seed, err)
-		}
-		for _, row := range report.MetricRows(full.rep) {
+	for _, pr := range pairs {
+		for _, row := range report.MetricRows(pr.full.rep) {
 			if _, seen := fullVals[row.Name]; !seen {
 				order = append(order, row.Name)
 			}
 			fullVals[row.Name] = append(fullVals[row.Name], row.Value)
 		}
-		for _, row := range report.MetricRows(partial.rep) {
+		for _, row := range report.MetricRows(pr.partial.rep) {
 			partVals[row.Name] = append(partVals[row.Name], row.Value)
 		}
 	}

@@ -55,11 +55,13 @@ func LoadMatrix(r io.Reader) (*Matrix, error) {
 	if len(sm.Cells) == 0 {
 		return nil, fmt.Errorf("dreamsim: stored matrix has no cells")
 	}
-	return &Matrix{
+	m := &Matrix{
 		NodeCounts: sm.NodeCounts,
 		TaskCounts: sm.TaskCounts,
 		Cells:      sm.Cells,
-	}, nil
+	}
+	m.buildIndex()
+	return m, nil
 }
 
 // DiffMatrices compares the same metric across two stored sweeps
