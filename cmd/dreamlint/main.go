@@ -1,0 +1,84 @@
+// Command dreamlint runs DReAMSim's determinism & metering analyzer
+// suite (internal/lint) over the repository:
+//
+//	go run ./cmd/dreamlint ./...
+//
+// It loads the matched packages (type-checked against the build
+// cache's export data), applies every analyzer, and prints findings
+// as file:line:col: analyzer: message. The exit status is 1 when any
+// unjustified finding remains, so CI can gate merges on a clean run.
+// Deliberate exceptions are justified in the source with
+// //lint:NAME <reason> directives — see README "Static analysis &
+// invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dreamsim/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: dreamlint [-list] [-run name,name] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		var kept []*lint.Analyzer
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dreamlint: unknown analyzer %q\n", strings.TrimSpace(name))
+				os.Exit(2)
+			}
+			kept = append(kept, a)
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dreamlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

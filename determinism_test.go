@@ -1,0 +1,91 @@
+package dreamsim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// Cross-process determinism regression: the serialised result of a
+// small sweep must be byte-identical across fresh processes and
+// across parallelism levels. In-process repetition cannot catch
+// nondeterminism seeded by Go's per-process map iteration hashing or
+// by goroutine interleaving, so the test re-execs the test binary and
+// compares the SaveMatrix JSON byte for byte.
+
+const (
+	detChildEnv = "DREAMSIM_DETERMINISM_CHILD"
+	detOutEnv   = "DREAMSIM_DETERMINISM_OUT"
+	detParEnv   = "DREAMSIM_DETERMINISM_PAR"
+)
+
+// TestDeterminismChild is the re-exec target: it runs the sweep and
+// writes the serialised matrix where the parent asked. Outside a
+// child process it is skipped.
+func TestDeterminismChild(t *testing.T) {
+	if os.Getenv(detChildEnv) != "1" {
+		t.Skip("helper for TestCrossProcessByteIdenticalSweep")
+	}
+	par := 1
+	if os.Getenv(detParEnv) == "4" {
+		par = 4
+	}
+	p := DefaultParams()
+	p.Seed = 424242
+	p.Parallelism = par
+	p.TaskTimeRange = [2]int64{50, 2000}
+	m, err := RunMatrix(p, []int{6, 9}, []int{80, 150}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(os.Getenv(detOutEnv), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossProcessByteIdenticalSweep(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	runs := []struct {
+		label string
+		par   string
+	}{
+		{"sequential", "1"},
+		{"parallel", "4"},
+		{"parallel-again", "4"},
+	}
+	var blobs [][]byte
+	for i, run := range runs {
+		out := filepath.Join(dir, fmt.Sprintf("run-%d.json", i))
+		cmd := exec.Command(exe, "-test.run=^TestDeterminismChild$", "-test.count=1")
+		cmd.Env = append(os.Environ(),
+			detChildEnv+"=1", detOutEnv+"="+out, detParEnv+"="+run.par)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("child %s: %v\n%s", run.label, err, msg)
+		}
+		blob, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatalf("child %s wrote no output: %v", run.label, err)
+		}
+		if len(blob) == 0 {
+			t.Fatalf("child %s wrote an empty matrix", run.label)
+		}
+		blobs = append(blobs, blob)
+	}
+	for i := 1; i < len(blobs); i++ {
+		if !bytes.Equal(blobs[0], blobs[i]) {
+			t.Errorf("%s result JSON differs from %s (%d vs %d bytes)",
+				runs[i].label, runs[0].label, len(blobs[i]), len(blobs[0]))
+		}
+	}
+}

@@ -9,7 +9,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
+	"dreamsim/internal/invariant"
 	"dreamsim/internal/metrics"
 	"dreamsim/internal/model"
 	"dreamsim/internal/monitor"
@@ -180,8 +182,16 @@ func New(params Params) (*Simulator, error) {
 		s.children = make(map[int][]int)
 		s.terminal = make(map[int]model.TaskStatus)
 		s.depBlocked = make(map[int]*model.Task)
-		for child, parents := range params.Deps {
-			for _, p := range parents {
+		// Build the children lists in sorted child order: map iteration
+		// order would make releaseChildren's dispatch order — and with
+		// it every task-graph result — vary run to run.
+		childNos := make([]int, 0, len(params.Deps))
+		for child := range params.Deps {
+			childNos = append(childNos, child)
+		}
+		sort.Ints(childNos)
+		for _, child := range childNos {
+			for _, p := range params.Deps[child] {
 				s.children[p] = append(s.children[p], child)
 			}
 		}
@@ -600,8 +610,18 @@ func (s *Simulator) fail(err error) {
 	}
 }
 
-// debugCheck validates all invariants when Debug is on.
+// debugCheck validates all invariants when Debug is on. Builds with
+// -tags invariants additionally re-check task conservation after
+// every event, Debug or not.
 func (s *Simulator) debugCheck() {
+	if invariant.Enabled && s.err == nil {
+		settled := s.c.CompletedTasks + s.c.DiscardedTasks + s.c.RunningTasks +
+			int64(s.sus.Len()) + int64(len(s.depBlocked))
+		invariant.Assertf(settled == s.c.GeneratedTasks,
+			"core: task conservation broken: generated %d != completed %d + discarded %d + running %d + suspended %d + dep-blocked %d",
+			s.c.GeneratedTasks, s.c.CompletedTasks, s.c.DiscardedTasks,
+			s.c.RunningTasks, s.sus.Len(), len(s.depBlocked))
+	}
 	if !s.params.Debug || s.err != nil {
 		return
 	}

@@ -1,0 +1,40 @@
+//go:build invariants
+
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunCleanUnderInvariants runs both scenarios end to end with the
+// runtime assertions compiled in: conservation, area bounds and queue
+// monotonicity must all hold on a healthy run.
+func TestRunCleanUnderInvariants(t *testing.T) {
+	for _, partial := range []bool{false, true} {
+		res := mustRun(t, smallParams(8, 150, partial))
+		if res.Counters.GeneratedTasks != res.Counters.CompletedTasks+res.Counters.DiscardedTasks {
+			t.Fatalf("partial=%v: tasks unaccounted for: %+v", partial, res.Counters)
+		}
+	}
+}
+
+// TestConservationAssert corrupts the task bookkeeping mid-simulator
+// and checks debugCheck trips the tagged assertion.
+func TestConservationAssert(t *testing.T) {
+	s, err := New(smallParams(4, 10, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.c.GeneratedTasks = 1 // one task generated, none accounted for
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("broken conservation did not trip the invariant")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "task conservation") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	s.debugCheck()
+}

@@ -1,0 +1,7 @@
+//go:build !invariants
+
+package invariant
+
+// Enabled reports that runtime assertions are compiled out; guarded
+// assertion blocks are eliminated as dead code.
+const Enabled = false

@@ -1,0 +1,7 @@
+//go:build invariants
+
+package invariant
+
+// Enabled reports that this binary was built with -tags invariants:
+// runtime assertions are compiled in.
+const Enabled = true

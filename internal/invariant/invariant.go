@@ -1,0 +1,26 @@
+// Package invariant provides build-tag-gated runtime assertions for
+// the simulator's load-bearing properties (monotonic timeticks,
+// area bounds, task-count conservation — see DESIGN.md "Static
+// analysis & invariants").
+//
+// Call sites guard every assertion with the compile-time constant
+// Enabled:
+//
+//	if invariant.Enabled {
+//		invariant.Assertf(cond, "…", args…)
+//	}
+//
+// In regular builds Enabled is false and the whole block — including
+// the evaluation of cond and its arguments — is eliminated as dead
+// code. Building or testing with `-tags invariants` turns the checks
+// on; a violated assertion panics, naming the broken property.
+package invariant
+
+import "fmt"
+
+// Assertf panics with a descriptive message when cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,24 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssertfTrueIsSilent(t *testing.T) {
+	Assertf(true, "never shown %d", 1)
+}
+
+func TestAssertfFalsePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assertf(false) did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violated: area 7 out of bounds") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	Assertf(false, "area %d out of bounds", 7)
+}

@@ -1,0 +1,226 @@
+// Package lint is DReAMSim's static-analysis suite: a small,
+// dependency-free mirror of the golang.org/x/tools/go/analysis
+// framework plus the project-specific analyzers that encode the
+// simulator's load-bearing invariants (bit-reproducibility and exact
+// search metering, see DESIGN.md "Static analysis & invariants").
+//
+// The framework intentionally copies the x/tools shape — Analyzer,
+// Pass, Diagnostic — so the analyzers can be ported to a real
+// multichecker wholesale if the dependency ever becomes available;
+// only the package loader (load.go) is home-grown: it drives
+// `go list -export -deps -json` and type-checks the target packages
+// from source, resolving imports from the build cache's export data.
+//
+// Findings are suppressed site-by-site with justification directives:
+//
+//	//lint:NAME why this site is exempt
+//
+// placed on the offending line, the line above it, or in the doc
+// comment of the enclosing function (which exempts the whole
+// function). A directive without a justification text is itself
+// reported — exceptions must say why.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The fields mirror
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is the one-paragraph description shown by `dreamlint -list`.
+	Doc string
+	// Scope, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts; nil means every package.
+	Scope func(pkgPath string) bool
+	// Run performs the check over one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	pkg    *Package
+	diags  *[]Diagnostic
+	funcIx map[*ast.File][]*ast.FuncDecl
+}
+
+// A Diagnostic is one finding, addressed by source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// directive is one parsed //lint:NAME justification comment.
+type directive struct {
+	name   string
+	reason string
+	pos    token.Position
+}
+
+var directiveRe = regexp.MustCompile(`^//\s*lint:([a-z]+)\b[ \t]*(.*)$`)
+
+// Reportf records a finding at pos unless a matching //lint:NAME
+// directive covers the site.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(pos, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppressed reports whether a directive for this analyzer covers the
+// given position: same line, the line immediately above, or the doc
+// comment of the enclosing function declaration.
+func (p *Pass) suppressed(pos token.Pos, position token.Position) bool {
+	for _, d := range p.pkg.directives[position.Filename] {
+		if d.name != p.Analyzer.Name {
+			continue
+		}
+		if d.pos.Line == position.Line || d.pos.Line == position.Line-1 {
+			return true
+		}
+	}
+	if fd := p.enclosingFunc(pos); fd != nil && fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if m := directiveRe.FindStringSubmatch(c.Text); m != nil && m[1] == p.Analyzer.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingFunc returns the function declaration containing pos, if
+// any.
+func (p *Pass) enclosingFunc(pos token.Pos) *ast.FuncDecl {
+	if p.funcIx == nil {
+		p.funcIx = make(map[*ast.File][]*ast.FuncDecl)
+		for _, f := range p.Files {
+			var fds []*ast.FuncDecl
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					fds = append(fds, fd)
+				}
+			}
+			p.funcIx[f] = fds
+		}
+	}
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			for _, fd := range p.funcIx[f] {
+				if fd.Pos() <= pos && pos < fd.End() {
+					return fd
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Info.ObjectOf(id)
+}
+
+// Run applies each analyzer to each in-scope package and returns the
+// findings sorted by position. Directives with an empty justification
+// are reported under the pseudo-analyzer "directive" so that every
+// exception in the tree carries its why.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	knownNames := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		knownNames[a.Name] = true
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				pkg:      pkg,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: pkg.Path},
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("internal error: %v", err),
+				})
+			}
+		}
+		for _, file := range pkg.directives {
+			for _, d := range file {
+				switch {
+				case !knownNames[d.name]:
+					diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "directive",
+						Message: fmt.Sprintf("unknown analyzer %q in //lint: directive", d.name)})
+				case strings.TrimSpace(d.reason) == "":
+					diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "directive",
+						Message: fmt.Sprintf("//lint:%s directive needs a justification", d.name)})
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Analyzers returns the full DReAMSim suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{DetRand, MapOrder, Metering, SeedFlow}
+}
+
+// pathHasSuffix reports whether pkgPath ends with the given
+// slash-separated suffix on an element boundary ("internal/resinfo"
+// matches "dreamsim/internal/resinfo" but not "x/myinternal/resinfo").
+func pathHasSuffix(pkgPath, suffix string) bool {
+	return pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix)
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	directives map[string][]directive // filename -> //lint: directives
+}
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// Load resolves patterns (as the go tool would, from dir) and returns
+// the matched packages parsed and type-checked. Imports — including
+// module-internal ones — are satisfied from the build cache's export
+// data, which `go list -export` produces as a side effect, so only
+// the target packages themselves are parsed from source.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for import %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one target package.
+func check(fset *token.FileSet, imp types.Importer, t listPackage) (*Package, error) {
+	pkg := &Package{
+		Path:       t.ImportPath,
+		Fset:       fset,
+		directives: map[string][]directive{},
+	}
+	for _, name := range t.GoFiles {
+		path := filepath.Join(t.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		collectDirectives(fset, f, pkg.directives)
+	}
+	conf := types.Config{Importer: imp}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// collectDirectives records every //lint:NAME comment of the file by
+// filename so suppression checks are a line lookup.
+func collectDirectives(fset *token.FileSet, f *ast.File, out map[string][]directive) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := directiveRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			out[pos.Filename] = append(out[pos.Filename], directive{
+				name:   m[1],
+				reason: strings.TrimSpace(m[2]),
+				pos:    pos,
+			})
+		}
+	}
+}

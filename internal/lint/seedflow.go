@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedFlow polices how rng.RNG generators come to life inside the
+// units the experiment executor (internal/exec) fans out. A parallel
+// sweep is byte-identical to a sequential one only because every unit
+// is a pure function of its own explicit seed; an RNG constructed
+// from anything ambient — a global counter, a pointer value, an
+// environment lookup — silently couples units to scheduling order.
+//
+// Within the executor-driven packages (the root experiment engine,
+// internal/core, internal/exec, internal/gridsim), every argument of
+// rng.New / (*rng.RNG).Seed must trace back to explicit seed inputs:
+// function parameters, fields or variables with "seed" in their name,
+// constants, derivations via (*rng.RNG) methods (Split, RandUint64),
+// or pure arithmetic over those. Anything else is reported; truly
+// deliberate exceptions carry //lint:seedflow with a reason.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "require rng.RNG construction from explicit seed inputs in executor-driven units",
+	Scope: func(pkgPath string) bool {
+		return pkgPath == "dreamsim" ||
+			pathHasSuffix(pkgPath, "internal/core") ||
+			pathHasSuffix(pkgPath, "internal/exec") ||
+			pathHasSuffix(pkgPath, "internal/gridsim")
+	},
+	Run: runSeedFlow,
+}
+
+func runSeedFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := rngSeedCall(pass, call); name != "" && len(call.Args) == 1 {
+					if why := badSeedExpr(pass, fd, call.Args[0], 0); why != "" {
+						pass.Reportf(call.Pos(),
+							"rng seed for %s does not trace to an explicit seed input: %s", name, why)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// rngSeedCall returns "rng.New" or "RNG.Seed" when call constructs or
+// reseeds a generator, "" otherwise.
+func rngSeedCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || !pathHasSuffix(fn.Pkg().Path(), "internal/rng") {
+		return ""
+	}
+	switch fn.Name() {
+	case "New":
+		return "rng.New"
+	case "Seed":
+		return "RNG.Seed"
+	}
+	return ""
+}
+
+// badSeedExpr walks the provenance of a seed expression and returns a
+// description of the first non-seed source, or "" when every leaf is
+// an explicit seed input. Depth is bounded: beyond it the expression
+// is considered opaque.
+func badSeedExpr(pass *Pass, fd *ast.FuncDecl, e ast.Expr, depth int) string {
+	if depth > 8 {
+		return "provenance too deep to verify"
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return "" // a literal seed is explicit
+	case *ast.ParenExpr:
+		return badSeedExpr(pass, fd, e.X, depth+1)
+	case *ast.BinaryExpr:
+		if why := badSeedExpr(pass, fd, e.X, depth+1); why != "" {
+			return why
+		}
+		return badSeedExpr(pass, fd, e.Y, depth+1)
+	case *ast.UnaryExpr:
+		return badSeedExpr(pass, fd, e.X, depth+1)
+	case *ast.IndexExpr:
+		return badSeedExpr(pass, fd, e.X, depth+1)
+	case *ast.SelectorExpr:
+		if seedish(e.Sel.Name) {
+			return ""
+		}
+		return fmt.Sprintf("field or value %q is not a seed input", e.Sel.Name)
+	case *ast.Ident:
+		return badSeedIdent(pass, fd, e, depth)
+	case *ast.CallExpr:
+		return badSeedCall(pass, fd, e, depth)
+	default:
+		return fmt.Sprintf("unrecognised seed source %T", e)
+	}
+}
+
+// badSeedIdent resolves one identifier leaf.
+func badSeedIdent(pass *Pass, fd *ast.FuncDecl, id *ast.Ident, depth int) string {
+	obj := pass.ObjectOf(id)
+	switch obj := obj.(type) {
+	case *types.Const:
+		return ""
+	case *types.Nil, *types.Builtin:
+		return fmt.Sprintf("%q is not a seed input", id.Name)
+	case *types.Var:
+		if seedish(id.Name) {
+			return ""
+		}
+		if isParamOf(fd, obj) {
+			return "" // caller passed it explicitly
+		}
+		if obj.Pos() < fd.Pos() || obj.Pos() > fd.End() {
+			return fmt.Sprintf("package-level variable %q is ambient state, not an explicit seed", id.Name)
+		}
+		// Local variable: trace its initialisations inside this
+		// function.
+		inits := localInits(fd, obj, pass)
+		if len(inits) == 0 {
+			return fmt.Sprintf("cannot trace local %q to a seed input", id.Name)
+		}
+		for _, init := range inits {
+			if why := badSeedExpr(pass, fd, init, depth+1); why != "" {
+				return why
+			}
+		}
+		return ""
+	default:
+		return fmt.Sprintf("%q is not a seed input", id.Name)
+	}
+}
+
+// badSeedCall accepts calls that deterministically derive seeds:
+// (*rng.RNG) methods (Split/RandUint64/...), functions whose name
+// mentions seeds (Seeds, DeriveSeed), conversions, and len/cap.
+func badSeedCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, depth int) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch obj := pass.ObjectOf(fun).(type) {
+		case *types.TypeName: // conversion like uint64(i)
+			if len(call.Args) == 1 {
+				return badSeedExpr(pass, fd, call.Args[0], depth+1)
+			}
+		case *types.Builtin:
+			if fun.Name == "len" || fun.Name == "cap" {
+				return ""
+			}
+		case *types.Func:
+			if seedish(obj.Name()) {
+				return ""
+			}
+			return fmt.Sprintf("call to %s is not a recognised seed derivation", obj.Name())
+		}
+	case *ast.SelectorExpr:
+		obj := pass.ObjectOf(fun.Sel)
+		if fn, ok := obj.(*types.Func); ok {
+			if fn.Pkg() != nil && pathHasSuffix(fn.Pkg().Path(), "internal/rng") {
+				return "" // Split / RandUint64 / ... on an existing RNG
+			}
+			if seedish(fn.Name()) {
+				return ""
+			}
+			return fmt.Sprintf("call to %s is not a recognised seed derivation", fn.Name())
+		}
+		if _, ok := obj.(*types.TypeName); ok && len(call.Args) == 1 {
+			return badSeedExpr(pass, fd, call.Args[0], depth+1) // pkg.Type(x) conversion
+		}
+	}
+	return "unrecognised seed derivation"
+}
+
+// seedish reports whether a name advertises seed-ness.
+func seedish(name string) bool {
+	return strings.Contains(strings.ToLower(name), "seed")
+}
+
+// isParamOf reports whether v is a parameter (or receiver) of fd.
+func isParamOf(fd *ast.FuncDecl, v *types.Var) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if name.Pos() == v.Pos() {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(fd.Type.Params) || check(fd.Recv)
+}
+
+// localInits collects the expressions assigned to obj inside fd
+// (short declarations and plain assignments).
+func localInits(fd *ast.FuncDecl, obj *types.Var, pass *Pass) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pass.ObjectOf(id) != obj {
+					continue
+				}
+				if i < len(n.Rhs) && len(n.Rhs) == len(n.Lhs) {
+					out = append(out, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.ObjectOf(name) == obj && i < len(n.Values) {
+					out = append(out, n.Values[i])
+				}
+			}
+		case *ast.RangeStmt:
+			// Range keys over deterministic containers are fine index
+			// material; treat `for i := range ...` keys as explicit.
+			if id, ok := n.Key.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+				out = append(out, &ast.BasicLit{})
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,11 @@
+// Package main is a detrand fixture standing in for the benchmark
+// harness: its import path ends in cmd/dreambench, so wall-clock use
+// is allowlisted wholesale and nothing below is reported.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now()
+	_ = time.Since(start)
+}

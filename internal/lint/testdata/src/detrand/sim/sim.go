@@ -1,0 +1,30 @@
+// Package sim is a detrand fixture: a stand-in simulation package
+// where wall-clock and ambient randomness are forbidden.
+package sim
+
+import (
+	crand "crypto/rand" // want `import of crypto/rand in simulation code`
+	"math/rand"         // want `import of math/rand in simulation code`
+	"time"
+)
+
+// Bad reaches for the host clock inside simulation code.
+func Bad() int64 {
+	start := time.Now()   // want `time.Now in simulation code`
+	_ = time.Since(start) // want `time.Since in simulation code`
+	_ = rand.Int()
+	var b [8]byte
+	_, _ = crand.Read(b[:])
+	return start.UnixNano()
+}
+
+// Justified carries an explicit exception and stays silent.
+func Justified() time.Time {
+	//lint:detrand fixture: log timestamps are wall-clock by design
+	return time.Now()
+}
+
+// Fine uses time only as a unit type, which is deterministic.
+func Fine(d time.Duration) time.Duration {
+	return d * 2
+}

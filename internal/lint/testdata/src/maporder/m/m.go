@@ -1,0 +1,64 @@
+// Package m is a maporder fixture: order-dependent map iteration in
+// every flavour, plus the sanctioned idioms that must stay silent.
+package m
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// BadAppend collects keys in map order and never sorts them.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to "keys" in map order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// BadWrite streams rows in map order.
+func BadWrite(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration feeds Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// BadNonLocal appends into a map-of-slice in map order (the shape of
+// the core.New dependency-index bug).
+func BadNonLocal(deps map[int][]int) map[int][]int {
+	children := map[int][]int{}
+	for child, parents := range deps { // want `appends to a non-local destination`
+		for _, p := range parents {
+			children[p] = append(children[p], child)
+		}
+	}
+	return children
+}
+
+// GoodSortedKeys is the sanctioned collect-then-sort idiom.
+func GoodSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodAccumulate folds order-insensitively.
+func GoodAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Justified documents a deliberate exception.
+func Justified(w io.Writer, m map[string]int) {
+	//lint:maporder fixture: debug dump, ordering explicitly unspecified
+	for k := range m {
+		fmt.Fprintln(w, k)
+	}
+}

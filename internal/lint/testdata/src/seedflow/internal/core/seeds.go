@@ -1,0 +1,51 @@
+// Package core is a seedflow fixture: its import path ends in
+// internal/core, so every rng.RNG here must be built from explicit
+// seed inputs.
+package core
+
+import "dreamsim/internal/rng"
+
+// ambient is exactly the kind of state a unit must never seed from.
+var ambient uint64
+
+// Params mirrors a unit's configuration.
+type Params struct {
+	Seed uint64
+	Name string
+}
+
+// GoodParam seeds from an explicit parameter.
+func GoodParam(seed uint64) *rng.RNG {
+	return rng.New(seed)
+}
+
+// GoodField seeds from a Seed field, with arithmetic derivation.
+func GoodField(p Params, i int) *rng.RNG {
+	r := rng.New(p.Seed + uint64(i))
+	return rng.New(r.RandUint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// GoodLocal traces a local back to the parameter.
+func GoodLocal(p Params) *rng.RNG {
+	derived := p.Seed * 2654435761
+	return rng.New(derived)
+}
+
+// BadGlobal seeds from ambient package state.
+func BadGlobal() *rng.RNG {
+	ambient++
+	return rng.New(ambient) // want `package-level variable "ambient" is ambient state`
+}
+
+// BadCall seeds from an unrecognised derivation.
+func BadCall(p Params) *rng.RNG {
+	return rng.New(uint64(len(p.Name)) + entropy()) // want `call to entropy is not a recognised seed derivation`
+}
+
+func entropy() uint64 { return 7 }
+
+// Justified documents a deliberate exception.
+func Justified() *rng.RNG {
+	//lint:seedflow fixture: interactive tool, reproducibility waived
+	return rng.New(ambient)
+}

@@ -77,12 +77,14 @@ func Take(m *resinfo.Manager, now int64) Snapshot {
 			}
 		}
 	}
+	perConfig := make([]ConfigCensus, 0, len(census))
 	for _, c := range census {
-		s.PerConfig = append(s.PerConfig, *c)
+		perConfig = append(perConfig, *c)
 	}
-	sort.Slice(s.PerConfig, func(i, j int) bool {
-		return s.PerConfig[i].ConfigNo < s.PerConfig[j].ConfigNo
+	sort.Slice(perConfig, func(i, j int) bool {
+		return perConfig[i].ConfigNo < perConfig[j].ConfigNo
 	})
+	s.PerConfig = perConfig
 	return s
 }
 

@@ -246,6 +246,8 @@ type nodeIndex struct {
 // newNodeIndex builds the index over the node population. It reports
 // failure (nil, false) when the capability name space exceeds the
 // 64-bit mask encoding; callers then stay on the linear path.
+//
+//lint:metering index construction is host data-structure maintenance; the metered workload models the linear scheduler
 func newNodeIndex(nodes []*model.Node, configs []*model.Config) (*nodeIndex, bool) {
 	capLists := make([][]string, 0, len(nodes)+len(configs))
 	for _, n := range nodes {
@@ -382,6 +384,8 @@ func (ix *nodeIndex) firstBusyFit(cfg *model.Config) int {
 
 // check validates the index against the ground-truth node states
 // (tests and the engine's debug mode).
+//
+//lint:metering debug validator; its walks are host-side checking, not simulated scheduler work
 func (ix *nodeIndex) check() error {
 	for i, n := range ix.nodes {
 		st := ix.state[i]

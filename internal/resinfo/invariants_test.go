@@ -1,0 +1,45 @@
+//go:build invariants
+
+package resinfo
+
+import (
+	"strings"
+	"testing"
+
+	"dreamsim/internal/model"
+)
+
+// TestReindexAreaBoundsAssert corrupts a node's Eq. 4 accounting and
+// checks the next state transition trips the tagged assertion.
+func TestReindexAreaBoundsAssert(t *testing.T) {
+	m, _ := rig(t, []int64{1000}, []int64{400}, true)
+	node := m.Nodes()[0]
+	node.AvailableArea = -1
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("negative AvailableArea did not trip the invariant")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "Eq. 4") {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	m.reindex(node)
+}
+
+// TestTransitionsCleanUnderInvariants drives the normal transition
+// cycle with assertions compiled in; nothing may trip.
+func TestTransitionsCleanUnderInvariants(t *testing.T) {
+	m, _ := rig(t, []int64{1000}, []int64{400}, true)
+	node, cfg := m.Nodes()[0], m.Configs()[0]
+	e, err := m.Configure(node, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EvictIdle(node, []*model.Entry{e}); err != nil {
+		t.Fatal(err)
+	}
+	if node.AvailableArea != node.TotalArea {
+		t.Fatalf("area not restored: %d/%d", node.AvailableArea, node.TotalArea)
+	}
+}

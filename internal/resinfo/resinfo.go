@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dreamsim/internal/invariant"
 	"dreamsim/internal/metrics"
 	"dreamsim/internal/model"
 	"dreamsim/internal/reslists"
@@ -49,6 +50,8 @@ func WithFastSearch() Option {
 
 // New builds a manager over the given resources. Config numbers must
 // be unique; the counters receive all metering.
+//
+//lint:metering construction-time setup walks; the paper meters only the running scheduler
 func New(nodes []*model.Node, configs []*model.Config, counters *metrics.Counters, opts ...Option) (*Manager, error) {
 	m := &Manager{
 		nodes:   nodes,
@@ -94,6 +97,14 @@ func (m *Manager) FastSearch() bool { return m.idx != nil }
 // metered workload describes the simulated linear-search scheduler,
 // not the host data structure.
 func (m *Manager) reindex(node *model.Node) {
+	// reindex is the shared tail of every state transition
+	// (Configure, EvictIdle, BlankNode, StartTask, FinishTask), so it
+	// is where the -tags invariants build re-checks Eq. 4 area bounds.
+	if invariant.Enabled {
+		invariant.Assertf(node.AvailableArea >= 0 && node.AvailableArea <= node.TotalArea,
+			"resinfo: node %d available area %d outside [0, %d] after a state transition (Eq. 4)",
+			node.No, node.AvailableArea, node.TotalArea)
+	}
 	if m.idx != nil {
 		m.idx.sync(m.idx.pos[node], node)
 	}
@@ -393,6 +404,8 @@ func (m *Manager) AnyBusyNodeCouldFit(cfg *model.Config) bool {
 // CheckInvariants validates global consistency: every node passes its
 // own checks, every region sits in exactly the right list, and list
 // linkage is intact. Intended for tests and debug runs.
+//
+//lint:metering debug validator; its walks are host-side checking, not simulated scheduler work
 func (m *Manager) CheckInvariants() error {
 	listed := make(map[*model.Entry]bool)
 	for no, p := range m.pairs {

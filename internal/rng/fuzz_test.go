@@ -1,0 +1,123 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// The distribution fuzz targets pin one contract: valid parameters
+// never panic, hang, or yield NaN/negative variates, and invalid
+// (non-finite) parameters always panic instead of wedging a sampler's
+// acceptance loop — NaN compares false against everything, so an
+// unchecked NaN turns every rejection loop into an infinite one.
+
+// panics reports whether fn panicked.
+func panics(fn func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	fn()
+	return false
+}
+
+func FuzzGamma(f *testing.F) {
+	f.Add(uint64(1), 2.0, 3.0)
+	f.Add(uint64(2), 0.5, 1.0)
+	f.Add(uint64(3), math.NaN(), 1.0)
+	f.Add(uint64(4), 1.0, math.Inf(1))
+	f.Add(uint64(5), 5e-324, 1e308)
+	f.Fuzz(func(t *testing.T, seed uint64, shape, scale float64) {
+		r := New(seed)
+		if !finite(shape) || !finite(scale) || shape <= 0 || scale <= 0 {
+			if !panics(func() { r.Gamma(shape, scale) }) {
+				t.Fatalf("Gamma(%v, %v): invalid parameters accepted", shape, scale)
+			}
+			return
+		}
+		v := r.Gamma(shape, scale)
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("Gamma(%v, %v) = %v, want non-negative non-NaN", shape, scale, v)
+		}
+	})
+}
+
+func FuzzPoisson(f *testing.F) {
+	f.Add(uint64(1), 0.5)
+	f.Add(uint64(2), 250.0)
+	f.Add(uint64(3), math.NaN())
+	f.Add(uint64(4), math.Inf(1))
+	f.Fuzz(func(t *testing.T, seed uint64, mean float64) {
+		r := New(seed)
+		if !finite(mean) || mean < 0 {
+			if !panics(func() { r.Poisson(mean) }) {
+				t.Fatalf("Poisson(%v): invalid mean accepted", mean)
+			}
+			return
+		}
+		if mean > 1e6 {
+			t.Skip("mean beyond simulator range")
+		}
+		if k := r.Poisson(mean); k < 0 {
+			t.Fatalf("Poisson(%v) = %d", mean, k)
+		}
+	})
+}
+
+func FuzzBinomial(f *testing.F) {
+	f.Add(uint64(1), 0.25, 100)
+	f.Add(uint64(2), math.NaN(), 10)
+	f.Add(uint64(3), 1e-300, 1<<60)
+	f.Add(uint64(4), 0.75, -1)
+	f.Fuzz(func(t *testing.T, seed uint64, p float64, n int) {
+		r := New(seed)
+		if n < 0 || math.IsNaN(p) {
+			if !panics(func() { r.Binomial(p, n) }) {
+				t.Fatalf("Binomial(%v, %d): invalid parameters accepted", p, n)
+			}
+			return
+		}
+		// The geometric-skip sampler is O(n·min(p,1−p)); keep the
+		// expected work bounded so the fuzzer probes correctness,
+		// not wall time.
+		if eff := math.Min(p, 1-p); eff > 0 && eff*float64(n) > 1e6 {
+			t.Skip("expected successes beyond fuzz budget")
+		}
+		k := r.Binomial(p, n)
+		if k < 0 || k > n {
+			t.Fatalf("Binomial(%v, %d) = %d, want within [0, %d]", p, n, k, n)
+		}
+	})
+}
+
+func FuzzMultinom(f *testing.F) {
+	f.Add(uint64(1), uint(40), 0.2, 0.3, 0.5)
+	f.Add(uint64(2), uint(7), 0.0, 0.0, 0.0)
+	f.Add(uint64(3), uint(9), math.Inf(1), 1.0, 1.0)
+	f.Add(uint64(4), uint(9), -1.0, 1.0, 1.0)
+	f.Fuzz(func(t *testing.T, seed uint64, n uint, p0, p1, p2 float64) {
+		r := New(seed)
+		n %= 10_000
+		probs := []float64{p0, p1, p2}
+		for _, p := range probs {
+			if p < 0 || !finite(p) {
+				if !panics(func() { r.Multinom(n, probs) }) {
+					t.Fatalf("Multinom(%d, %v): invalid probabilities accepted", n, probs)
+				}
+				return
+			}
+		}
+		out := r.Multinom(n, probs)
+		total := 0.0
+		for _, p := range probs {
+			total += p
+		}
+		sum := 0
+		for i, k := range out {
+			if k < 0 {
+				t.Fatalf("Multinom(%d, %v)[%d] = %d", n, probs, i, k)
+			}
+			sum += k
+		}
+		if total > 0 && sum != int(n) {
+			t.Fatalf("Multinom(%d, %v) sums to %d", n, probs, sum)
+		}
+	})
+}

@@ -239,7 +239,7 @@ func (r *RNG) Exponential() float64 {
 // ExpRate returns an exponential variate with the given rate (events
 // per timetick); the mean is 1/rate.
 func (r *RNG) ExpRate(rate float64) float64 {
-	if rate <= 0 {
+	if !(rate > 0) { // also rejects NaN, which no comparison admits
 		panic("rng: ExpRate with non-positive rate")
 	}
 	return r.Exponential() / rate
@@ -250,6 +250,12 @@ func (r *RNG) ExpRate(rate float64) float64 {
 // TOMS 2000) cited by the paper; shape < 1 is boosted via the
 // standard U^(1/shape) transformation.
 func (r *RNG) Gamma(shape, scale float64) float64 {
+	// NaN passes every <= comparison and then wedges the acceptance
+	// loop (v > 0 is never true), so non-finite parameters must be
+	// rejected before the sign check.
+	if !finite(shape) || !finite(scale) {
+		panic("rng: Gamma with non-finite parameter")
+	}
 	if shape <= 0 || scale <= 0 {
 		panic("rng: Gamma with non-positive parameter")
 	}
@@ -284,6 +290,11 @@ func (r *RNG) Gamma(shape, scale float64) float64 {
 // product method; large means use the log-gamma rejection method
 // (Atkinson/PTRS style) to stay O(1).
 func (r *RNG) Poisson(mean float64) int {
+	// A NaN or +Inf mean turns the Atkinson envelope into NaN and the
+	// rejection test never accepts: reject non-finite up front.
+	if !finite(mean) {
+		panic("rng: Poisson with non-finite mean")
+	}
 	if mean < 0 {
 		panic("rng: Poisson with negative mean")
 	}
@@ -331,6 +342,11 @@ func (r *RNG) Binomial(p float64, n int) int {
 	if n < 0 {
 		panic("rng: Binomial with negative n")
 	}
+	// NaN slips past every range test below and the geometric-skip
+	// loop never terminates on NaN gaps.
+	if math.IsNaN(p) {
+		panic("rng: Binomial with NaN probability")
+	}
 	if p <= 0 || n == 0 {
 		return 0
 	}
@@ -342,12 +358,21 @@ func (r *RNG) Binomial(p float64, n int) int {
 	}
 	// Geometric-skip method (Devroye): jump between successes with
 	// geometric gaps; expected iterations np+1.
-	logq := math.Log(1 - p)
+	// Log1p keeps logq nonzero for tiny p: with Log(1-p), any
+	// p < ~1e-16 rounds 1-p to exactly 1, logq to 0, and the gap
+	// below to -Inf — an infinite loop.
+	logq := math.Log1p(-p)
 	x := 0
 	trials := 0
 	for {
-		gap := int(math.Floor(math.Log(r.Float64Open())/logq)) + 1
-		trials += gap
+		gap := math.Floor(math.Log(r.Float64Open())/logq) + 1
+		// For tiny p the geometric gap can exceed int range; the
+		// int conversion would wrap negative and the loop would
+		// never cross n. Compare in float space first.
+		if gap > float64(n-trials) {
+			return x
+		}
+		trials += int(gap)
 		if trials > n {
 			return x
 		}
@@ -362,8 +387,8 @@ func (r *RNG) Multinom(n uint, probs []float64) []int {
 	out := make([]int, len(probs))
 	total := 0.0
 	for _, p := range probs {
-		if p < 0 || math.IsNaN(p) {
-			panic("rng: Multinom with negative probability")
+		if p < 0 || !finite(p) {
+			panic("rng: Multinom with negative or non-finite probability")
 		}
 		total += p
 	}
@@ -413,6 +438,11 @@ var logFactTable = func() [128]float64 {
 	}
 	return t
 }()
+
+// finite reports whether x is neither NaN nor ±Inf.
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
 
 func absF(x float64) float64 {
 	if x < 0 {

@@ -9,7 +9,11 @@
 // step tick-by-tick for the paper-faithful ablation).
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"dreamsim/internal/invariant"
+)
 
 // Time is a point in simulated time, measured in timeticks. The paper
 // uses `long long int` timeticks; int64 matches.
@@ -62,6 +66,11 @@ type Event struct {
 type Queue struct {
 	events  []*Event
 	nextSeq uint64
+
+	// lastPopped backs the -tags invariants monotonicity assertion:
+	// a min-heap must never emit an event earlier than one it already
+	// emitted.
+	lastPopped Time
 }
 
 // Len reports the number of pending events.
@@ -105,6 +114,12 @@ func (q *Queue) Pop() *Event {
 		return nil
 	}
 	ev := q.events[0]
+	if invariant.Enabled {
+		invariant.Assertf(ev.At >= q.lastPopped,
+			"sim: event queue popped tick %d after tick %d — simulated time must be monotone",
+			ev.At, q.lastPopped)
+		q.lastPopped = ev.At
+	}
 	last := len(q.events) - 1
 	q.swap(0, last)
 	q.events[last] = nil

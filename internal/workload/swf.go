@@ -141,7 +141,11 @@ func ParseSWF(r io.Reader, m SWFMapping) (tasks []*model.Task, deps map[int][]in
 		task.Data = area * 64
 		tasks = append(tasks, task)
 
-		if m.KeepDependencies && job.Preceding > 0 && seen[int(job.Preceding)] {
+		// A job naming itself as predecessor (it happens in archive
+		// logs) would deadlock the dependency gate; drop it with the
+		// other unresolvable references.
+		if m.KeepDependencies && job.Preceding > 0 &&
+			int(job.Preceding) != job.JobNo && seen[int(job.Preceding)] {
 			deps[job.JobNo] = append(deps[job.JobNo], int(job.Preceding))
 		}
 		if m.MaxJobs > 0 && len(tasks) >= m.MaxJobs {

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseSWF feeds arbitrary bytes through the SWF trace parser:
+// it must never panic, and on success the returned tasks must be
+// well-formed replay input for the simulator (submit-sorted, unique,
+// positive run times, areas inside the mapping clamp) with
+// dependencies that reference earlier jobs only.
+func FuzzParseSWF(f *testing.F) {
+	f.Add([]byte("; Version: 2.2\n1 0 -1 10 4 -1 -1 -1 -1 -1 1 1 1 1 1 1 -1 -1\n"))
+	f.Add([]byte("1 5 0 7 2 0 0 0 0 0 1 0 0 0 0 0 -1 0\n" +
+		"2 6 0 7 64 0 0 0 0 0 1 0 0 0 0 0 1 0\n"))
+	f.Add([]byte("1 0 0 1 1 0 0 0 0 0 1 0 0 0 0 0 0 0"))
+	f.Add([]byte("not an swf line\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := SWFMapping{KeepDependencies: true}
+		tasks, deps, err := ParseSWF(bytes.NewReader(data), m)
+		if err != nil {
+			return // malformed input is rejected, not replayed
+		}
+		if len(tasks) == 0 {
+			t.Fatal("ParseSWF succeeded with zero tasks")
+		}
+		seen := map[int]bool{}
+		last := int64(-1)
+		for _, task := range tasks {
+			if seen[task.No] {
+				t.Fatalf("duplicate task number %d", task.No)
+			}
+			seen[task.No] = true
+			if task.CreateTime < 0 || task.CreateTime < last {
+				t.Fatalf("task %d submit %d not sorted (prev %d)",
+					task.No, task.CreateTime, last)
+			}
+			last = task.CreateTime
+			if task.RequiredTime <= 0 {
+				t.Fatalf("task %d has non-positive run time %d", task.No, task.RequiredTime)
+			}
+			if task.NeededArea < 200 || task.NeededArea > 2000 {
+				t.Fatalf("task %d area %d outside mapping clamp", task.No, task.NeededArea)
+			}
+			if task.PrefConfig < 0 || task.PrefConfig >= 50 {
+				t.Fatalf("task %d preferred config %d outside default range", task.No, task.PrefConfig)
+			}
+		}
+		for child, parents := range deps {
+			if !seen[child] {
+				t.Fatalf("dependency child %d is not a parsed task", child)
+			}
+			for _, p := range parents {
+				if !seen[p] {
+					t.Fatalf("task %d depends on unknown job %d", child, p)
+				}
+				if p == child {
+					t.Fatalf("task %d depends on itself", child)
+				}
+			}
+		}
+	})
+}
