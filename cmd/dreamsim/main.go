@@ -44,6 +44,14 @@ func main() {
 		replicate   = flag.Int("replicate", 0, "replicate the run over N seeds and print metric statistics")
 		parallel    = flag.Int("parallel", dreamsim.DefaultParallelism(), "workers for -compare/-replicate fan-out (1 = sequential)")
 		fastSearch  = flag.Bool("fast-search", false, "use the indexed resource-search fast path (identical results and counters)")
+
+		faultCrashRate  = flag.Float64("fault-crash-rate", 0, "mean random node crashes per timetick (0 = off)")
+		faultDowntime   = flag.Float64("fault-downtime", 0, "mean downtime of randomly crashed nodes, in timeticks")
+		faultReconfRate = flag.Float64("fault-reconfig-rate", 0, "mean reconfiguration-failure armings per timetick (0 = off)")
+		faultScript     = flag.String("fault-script", "", "scripted fault schedule: crash@TICK:NODE,recover@TICK:NODE,cfail@TICK,...")
+		faultRetries    = flag.Int64("fault-retries", 0, "crash displacements a task survives before being lost (0 = default 3)")
+		faultBackoff    = flag.Int64("fault-backoff", 0, "first retry backoff in timeticks, doubling per displacement (0 = default 16)")
+		faultBackoffCap = flag.Int64("fault-backoff-cap", 0, "retry backoff ceiling in timeticks (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -65,6 +73,13 @@ func main() {
 	p.TickStep = *tickStep
 	p.Parallelism = *parallel
 	p.FastSearch = *fastSearch
+	p.FaultCrashRate = *faultCrashRate
+	p.FaultMeanDowntime = *faultDowntime
+	p.FaultReconfigRate = *faultReconfRate
+	p.FaultScript = *faultScript
+	p.FaultRetryBudget = *faultRetries
+	p.FaultBackoffBase = *faultBackoff
+	p.FaultBackoffCap = *faultBackoffCap
 	if *timeline {
 		p.SampleEvery = 1
 	}

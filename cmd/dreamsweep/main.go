@@ -34,6 +34,12 @@ func main() {
 		printParms = flag.Bool("print-params", false, "print the Table II simulation parameters and exit")
 		parallel   = flag.Int("parallel", dreamsim.DefaultParallelism(), "concurrent sweep workers (1 = sequential; results identical either way)")
 		fastSearch = flag.Bool("fast-search", false, "use the indexed resource-search fast path (identical results and counters)")
+
+		faultCrashRate  = flag.Float64("fault-crash-rate", 0, "mean random node crashes per timetick in every cell (0 = off)")
+		faultDowntime   = flag.Float64("fault-downtime", 0, "mean downtime of randomly crashed nodes, in timeticks")
+		faultReconfRate = flag.Float64("fault-reconfig-rate", 0, "mean reconfiguration-failure armings per timetick (0 = off)")
+		faultRetries    = flag.Int64("fault-retries", 0, "crash displacements a task survives before being lost (0 = default 3)")
+
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -75,6 +81,10 @@ func main() {
 	base.Seed = *seed
 	base.Parallelism = *parallel
 	base.FastSearch = *fastSearch
+	base.FaultCrashRate = *faultCrashRate
+	base.FaultMeanDowntime = *faultDowntime
+	base.FaultReconfigRate = *faultReconfRate
+	base.FaultRetryBudget = *faultRetries
 	grid := dreamsim.ScaledTaskCounts(*scale)
 
 	if *outDir != "" {

@@ -31,6 +31,7 @@ import (
 
 	"dreamsim/internal/core"
 	"dreamsim/internal/exec"
+	"dreamsim/internal/fault"
 	"dreamsim/internal/metrics"
 	"dreamsim/internal/monitor"
 	"dreamsim/internal/netmodel"
@@ -107,6 +108,31 @@ type Params struct {
 
 	// TickStep forces the paper-literal tick-by-tick clock.
 	TickStep bool
+
+	// FaultCrashRate, when positive, injects random node crashes as a
+	// Poisson process with this mean rate per timetick. Crashed nodes
+	// drop their resident configurations, displace their running tasks
+	// into a retry path and recover after an exponential downtime.
+	FaultCrashRate float64
+	// FaultMeanDowntime is the mean downtime (timeticks) of randomly
+	// crashed nodes; required when FaultCrashRate > 0.
+	FaultMeanDowntime float64
+	// FaultReconfigRate, when positive, arms reconfiguration failures
+	// as a Poisson process: an armed fault aborts the next bitstream
+	// load, wasting its reconfiguration time and re-suspending the task.
+	FaultReconfigRate float64
+	// FaultScript is an explicit fault schedule, fired alongside any
+	// random streams: comma-separated "crash@TICK:NODE",
+	// "recover@TICK:NODE" and "cfail@TICK" events.
+	FaultScript string
+	// FaultRetryBudget bounds how many crash displacements one task
+	// survives before being counted lost (0 = default 3).
+	FaultRetryBudget int64
+	// FaultBackoffBase is the first re-dispatch backoff in timeticks
+	// (0 = default 16); it doubles per displacement up to
+	// FaultBackoffCap (0 = default 4096).
+	FaultBackoffBase int64
+	FaultBackoffCap  int64
 
 	// CapKinds enables the heterogeneity extension: capability labels
 	// nodes may offer and configurations may require (the `caps` of
@@ -241,6 +267,21 @@ func (p Params) coreParams() (core.Params, error) {
 		MaxSusRetries:   p.MaxSusRetries,
 		DefragThreshold: p.DefragThreshold,
 	}
+	script, err := fault.ParseScript(p.FaultScript)
+	if err != nil {
+		return core.Params{}, err
+	}
+	cp.Faults = fault.Plan{
+		CrashRate:         p.FaultCrashRate,
+		MeanDowntime:      p.FaultMeanDowntime,
+		ReconfigFaultRate: p.FaultReconfigRate,
+		Script:            script,
+	}
+	cp.Retry = fault.RetryPolicy{
+		Budget:      p.FaultRetryBudget,
+		BackoffBase: p.FaultBackoffBase,
+		BackoffCap:  p.FaultBackoffCap,
+	}
 	return cp, cp.Validate()
 }
 
@@ -266,6 +307,17 @@ type Result struct {
 	Reconfigurations int64
 	SusQueuePeak     int64
 	DiscardRate      float64
+
+	// Fault-injection outcomes; all zero unless the Fault* knobs were
+	// set. The omitempty tags keep fault-free serialised results
+	// byte-identical to builds without the fault subsystem.
+	NodeCrashes        int64   `json:",omitempty"`
+	NodeRecoveries     int64   `json:",omitempty"`
+	TasksRetried       int64   `json:",omitempty"`
+	TasksLost          int64   `json:",omitempty"`
+	ReconfigFaults     int64   `json:",omitempty"`
+	WastedConfigTicks  int64   `json:",omitempty"`
+	AvgDowntimePerNode float64 `json:",omitempty"`
 
 	// Phases counts placements and verdicts per scheduling phase.
 	Phases map[string]int64
@@ -400,6 +452,13 @@ func wrap(res *core.Result, cp core.Params) Result {
 		Reconfigurations:          r.Reconfigurations,
 		SusQueuePeak:              r.SusQueuePeak,
 		DiscardRate:               r.DiscardRate,
+		NodeCrashes:               r.NodeCrashes,
+		NodeRecoveries:            r.NodeRecoveries,
+		TasksRetried:              r.TasksRetried,
+		TasksLost:                 r.TasksLost,
+		ReconfigFaults:            r.ReconfigFaults,
+		WastedConfigTicks:         r.WastedConfigTicks,
+		AvgDowntimePerNode:        r.AvgDowntimePerNode,
 		Phases:                    res.Phases,
 		Scenario:                  res.Scenario,
 		Policy:                    res.Policy,

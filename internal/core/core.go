@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dreamsim/internal/fault"
 	"dreamsim/internal/invariant"
 	"dreamsim/internal/metrics"
 	"dreamsim/internal/model"
@@ -75,8 +76,18 @@ type Params struct {
 	// (region fragmentation is the classic partial-reconfiguration
 	// cost; this knob ablates fighting it eagerly).
 	DefragThreshold int
+	// Faults configures deterministic fault injection (node crashes,
+	// recoveries, reconfiguration failures). The zero value disables
+	// the subsystem entirely and keeps the run byte-identical to a
+	// build without it.
+	Faults fault.Plan
+	// Retry tunes the re-dispatch path for tasks displaced by node
+	// crashes; zero knobs take the fault package defaults. Ignored
+	// when Faults is disabled.
+	Retry fault.RetryPolicy
 	// OnEvent, when set, observes the task lifecycle ("arrival",
-	// "place", "suspend", "discard", "complete").
+	// "place", "suspend", "discard", "complete"; faulty runs add
+	// "retry", "lost" and "reconfig-fault").
 	OnEvent func(kind string, now int64, task *model.Task)
 	// Recorder, when set, samples system state (the monitoring
 	// module's time series) at every placement and completion.
@@ -96,6 +107,12 @@ func (p *Params) Validate() error {
 	}
 	if p.DefragThreshold < 0 {
 		return fmt.Errorf("core: negative DefragThreshold %d", p.DefragThreshold)
+	}
+	if err := p.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := p.Retry.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -122,6 +139,16 @@ type Simulator struct {
 	children   map[int][]int            // parent task no -> child task nos
 	terminal   map[int]model.TaskStatus // completed/discarded tasks by no
 	depBlocked map[int]*model.Task      // arrived tasks waiting on parents
+
+	// Fault-injection state, populated only when params.Faults is
+	// enabled; all nil/zero on fault-free runs.
+	inj              *fault.Injector
+	retry            fault.RetryPolicy          // normalized retry knobs
+	inflight         map[*model.Task]*sim.Event // running task -> completion event
+	downSince        []int64                    // crash tick per down node
+	armedFaults      int64                      // pending reconfiguration failures
+	retryPending     int64                      // displaced tasks awaiting re-dispatch
+	drainCheckQueued bool                       // a drain-check event is queued
 }
 
 // New builds a simulator: it generates the resource population and
@@ -197,7 +224,39 @@ func New(params Params) (*Simulator, error) {
 		}
 	}
 	s.eng.TickStep = params.TickStep
+	if params.Faults.Enabled() {
+		// The fault RNG is split only on faulty runs, after every other
+		// stream, so fault-free runs draw exactly the same sequences as
+		// builds without the subsystem.
+		s.retry = params.Retry.WithDefaults()
+		s.inflight = make(map[*model.Task]*sim.Event)
+		s.downSince = make([]int64, len(nodes))
+		inj, err := fault.NewInjector(params.Faults, root.Split(), &s.eng, faultTarget{s})
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+	}
 	return s, nil
+}
+
+// faultTarget adapts the simulator to the fault.Target callback
+// surface the injector acts through.
+type faultTarget struct{ s *Simulator }
+
+func (t faultTarget) NodeCount() int          { return len(t.s.mgr.Nodes()) }
+func (t faultTarget) NodeDown(no int) bool    { return t.s.mgr.Nodes()[no].Down }
+func (t faultTarget) Crash(no int, now int64) { t.s.crashNode(no, now) }
+func (t faultTarget) Recover(no int, now int64) {
+	t.s.recoverNode(no, now)
+}
+func (t faultTarget) ArmReconfigFault(now int64) { t.s.armedFaults++ }
+func (t faultTarget) Live() bool                 { return t.s.faultLive() }
+
+// faultLive reports whether the simulation still has work in flight;
+// the injector's random streams stop perpetuating once it is false.
+func (s *Simulator) faultLive() bool {
+	return !s.arrDone || s.c.RunningTasks > 0 || s.sus.Len() > 0 || s.retryPending > 0
 }
 
 // Manager exposes the resource information manager (read-only use).
@@ -222,6 +281,9 @@ func (s *Simulator) Run() (*Result, error) {
 	s.ran = true
 
 	s.scheduleNextArrival()
+	if s.inj != nil {
+		s.inj.Start()
+	}
 	s.eng.Run(func() bool { return s.err != nil })
 	if s.err != nil {
 		return nil, s.err
@@ -229,9 +291,9 @@ func (s *Simulator) Run() (*Result, error) {
 
 	// The event queue drained: every task must be accounted for.
 	s.c.SuspendedTasks = int64(s.sus.Len())
-	if s.c.SuspendedTasks != 0 || s.c.RunningTasks != 0 {
-		return nil, fmt.Errorf("core: run ended with %d suspended, %d running tasks",
-			s.c.SuspendedTasks, s.c.RunningTasks)
+	if s.c.SuspendedTasks != 0 || s.c.RunningTasks != 0 || s.retryPending != 0 {
+		return nil, fmt.Errorf("core: run ended with %d suspended, %d running, %d retrying tasks",
+			s.c.SuspendedTasks, s.c.RunningTasks, s.retryPending)
 	}
 	if len(s.depBlocked) != 0 {
 		return nil, fmt.Errorf("core: run ended with %d tasks still blocked on dependencies",
@@ -320,7 +382,7 @@ func (s *Simulator) parentGate(task *model.Task) gateVerdict {
 		switch s.terminal[p] {
 		case model.TaskCompleted:
 			// satisfied
-		case model.TaskDiscarded:
+		case model.TaskDiscarded, model.TaskLost:
 			return gateDiscard
 		default:
 			return gateBlocked
@@ -365,6 +427,13 @@ func (s *Simulator) dispatch(task *model.Task, d sched.Decision, now int64) {
 // place commits a placing decision: mutate resource state, charge
 // Eq. 6-8 accounting, and schedule the completion event.
 func (s *Simulator) place(task *model.Task, d sched.Decision, now int64) {
+	// An armed reconfiguration fault fires on the next decision that
+	// loads a bitstream; pure allocations onto an idle region involve
+	// no reconfiguration and pass through unharmed.
+	if s.armedFaults > 0 && d.Action != sched.ActAllocate {
+		s.failReconfig(task, d, now)
+		return
+	}
 	entry, _, err := sched.Apply(s.mgr, task, d)
 	if err != nil {
 		s.fail(fmt.Errorf("core: applying %s for task %d: %w", d, task.No, err))
@@ -396,9 +465,31 @@ func (s *Simulator) place(task *model.Task, d sched.Decision, now int64) {
 	s.c.SuspendedTasks = int64(s.sus.Len())
 	s.emit("place", now, task)
 
-	s.eng.ScheduleAfter(commDelay+cfgDelay+task.RequiredTime, "completion", func(end int64) {
+	ev := s.eng.ScheduleAfter(commDelay+cfgDelay+task.RequiredTime, "completion", func(end int64) {
 		s.handleCompletion(task, node, end)
 	})
+	if s.inflight != nil {
+		s.inflight[task] = ev
+	}
+}
+
+// failReconfig consumes one armed reconfiguration fault: the
+// bitstream load aborts, its reconfiguration time is charged as
+// wasted, and the task re-enters the suspension queue (the paper's
+// suspension path, §IV-C) to be retried by a later scheduling pass.
+// No resource state mutates — the fault struck before sched.Apply.
+func (s *Simulator) failReconfig(task *model.Task, d sched.Decision, now int64) {
+	s.armedFaults--
+	s.c.ReconfigFaults++
+	s.c.WastedConfigTime += s.params.Net.ConfigDelay(d.TargetNode(), d.Config)
+	s.phases["reconfig-fault"]++
+	s.sus.Add(task)
+	s.c.SuspendedTasks = int64(s.sus.Len())
+	s.emit("reconfig-fault", now, task)
+	// The failed placement may have been the last scheduled activity;
+	// re-check drainability once the current event unwinds (this can
+	// fire inside a suspension-queue walk, so never drain in place).
+	s.scheduleDrainCheck()
 }
 
 // discard drops a task permanently; dependants of a discarded task
@@ -421,6 +512,7 @@ func (s *Simulator) handleCompletion(task *model.Task, node *model.Node, now int
 	if s.err != nil {
 		return
 	}
+	delete(s.inflight, task)
 	if _, err := s.mgr.FinishTask(node, task); err != nil {
 		s.fail(fmt.Errorf("core: completing task %d: %w", task.No, err))
 		return
@@ -438,13 +530,136 @@ func (s *Simulator) handleCompletion(task *model.Task, node *model.Node, now int
 	}
 	s.retrySuspended(node, now)
 	s.maybeDefrag(node)
-
-	// Arrivals exhausted and the system drained: resolve whatever is
-	// still suspended via full scheduling passes so the run terminates.
-	if s.arrDone && s.c.RunningTasks == 0 && s.sus.Len() > 0 {
-		s.drainQueue(now)
-	}
+	s.maybeDrain(now)
 	s.debugCheck()
+}
+
+// maybeDrain resolves the still-suspended backlog via full scheduling
+// passes once nothing else can free resources: arrivals exhausted,
+// nothing running, no displaced task awaiting re-dispatch and no node
+// recovery in flight (a recovering node may yet host the backlog).
+func (s *Simulator) maybeDrain(now int64) {
+	if s.err != nil || !s.arrDone || s.c.RunningTasks != 0 || s.retryPending != 0 {
+		return
+	}
+	if s.sus.Len() == 0 {
+		return
+	}
+	if s.inj != nil && s.inj.PendingRecoveries() > 0 {
+		return
+	}
+	s.drainQueue(now)
+}
+
+// scheduleDrainCheck queues a zero-delay drainability re-check.
+// Fault paths that suspend work inside a suspension-queue walk must
+// not drain re-entrantly; the check runs once the walk unwinds.
+// Multiple requests in one event coalesce into one check.
+func (s *Simulator) scheduleDrainCheck() {
+	if s.drainCheckQueued || s.err != nil {
+		return
+	}
+	s.drainCheckQueued = true
+	s.eng.ScheduleAfter(0, "drain-check", func(now int64) {
+		s.drainCheckQueued = false
+		s.maybeDrain(now)
+		s.debugCheck()
+	})
+}
+
+// crashNode is the injector's crash callback: blank the node's
+// resource state, cancel the completions of its in-flight tasks and
+// push the displaced tasks into the retry path. Crashing a node that
+// is already down is a no-op, so scripts and random streams overlap
+// safely.
+func (s *Simulator) crashNode(no int, now int64) {
+	if s.err != nil {
+		return
+	}
+	node := s.mgr.Nodes()[no]
+	if node.Down {
+		return
+	}
+	victims, err := s.mgr.CrashNode(node)
+	if err != nil {
+		s.fail(fmt.Errorf("core: crashing node %d: %w", no, err))
+		return
+	}
+	s.c.NodeCrashes++
+	s.downSince[no] = now
+	for _, task := range victims {
+		if ev := s.inflight[task]; ev != nil {
+			s.eng.Queue.Remove(ev)
+			delete(s.inflight, task)
+		}
+		s.c.RunningTasks--
+		s.requeue(task, now)
+	}
+	s.maybeDrain(now)
+	s.debugCheck()
+}
+
+// recoverNode is the injector's recovery callback: the node returns
+// to service blank and is immediately offered to the suspension
+// queue. Recovering an up node is a no-op — but drainability is
+// re-checked regardless, because a scripted no-op recovery can be the
+// last event gating the final drain.
+func (s *Simulator) recoverNode(no int, now int64) {
+	if s.err != nil {
+		return
+	}
+	node := s.mgr.Nodes()[no]
+	if node.Down {
+		if err := s.mgr.RecoverNode(node); err != nil {
+			s.fail(fmt.Errorf("core: recovering node %d: %w", no, err))
+			return
+		}
+		s.c.NodeRecoveries++
+		s.c.DowntimeTicks += now - s.downSince[no]
+		s.retrySuspended(node, now)
+	}
+	s.maybeDrain(now)
+	s.debugCheck()
+}
+
+// requeue sends a crash-displaced task through the retry path: after
+// a capped exponential backoff it is re-dispatched through the
+// scheduling policy like a fresh arrival. A task displaced more times
+// than the retry budget is counted lost.
+func (s *Simulator) requeue(task *model.Task, now int64) {
+	task.Retries++
+	if task.Retries > s.retry.Budget {
+		s.lose(task, now)
+		return
+	}
+	task.Status = model.TaskRetrying
+	s.c.TasksRetried++
+	s.retryPending++
+	s.emit("retry", now, task)
+	s.eng.ScheduleAfter(s.retry.Backoff(task.Retries), "retry", func(at int64) {
+		s.retryPending--
+		if s.err != nil {
+			return
+		}
+		s.dispatch(task, s.policy.Decide(s.mgr, task), at)
+		s.maybeDrain(at)
+		s.debugCheck()
+	})
+}
+
+// lose drops a task that exhausted its retry budget. Like a discard
+// the verdict is terminal and cascades to dependants, but it is
+// accounted separately: a lost task held resources and made progress
+// before faults took it down.
+func (s *Simulator) lose(task *model.Task, now int64) {
+	task.Status = model.TaskLost
+	s.c.LostTasks++
+	s.phases["lost"]++
+	s.emit("lost", now, task)
+	if s.terminal != nil {
+		s.terminal[task.No] = model.TaskLost
+		s.releaseChildren(task.No, now)
+	}
 }
 
 // nodeSummary is an O(1)-queryable digest of what a freed node can
@@ -492,6 +707,11 @@ func (s *Simulator) summarize(node *model.Node) nodeSummary {
 			for i := range sum.idle {
 				sum.idle[i] = false // resident region unusable
 			}
+		}
+		if node.Blank() {
+			// A blank full-mode node (only reachable via crash
+			// recovery) can take any fresh configuration that fits.
+			sum.free = node.AvailableArea
 		}
 	}
 	return sum
@@ -559,6 +779,14 @@ func (s *Simulator) drainQueue(now int64) {
 				s.sus.Remove(qt)
 				s.discard(qt, now)
 				progress = true
+			case d.Action == sched.ActSuspend && s.c.RunningTasks == 0:
+				// A suspend verdict with nothing running is only
+				// reachable when a down node could still fit the task,
+				// and maybeDrain guarantees no recovery is pending —
+				// the wait would never end, so the discard is final.
+				s.sus.Remove(qt)
+				s.discard(qt, now)
+				progress = true
 			}
 		}
 		if !progress {
@@ -615,12 +843,13 @@ func (s *Simulator) fail(err error) {
 // every event, Debug or not.
 func (s *Simulator) debugCheck() {
 	if invariant.Enabled && s.err == nil {
-		settled := s.c.CompletedTasks + s.c.DiscardedTasks + s.c.RunningTasks +
+		settled := s.c.CompletedTasks + s.c.DiscardedTasks + s.c.LostTasks +
+			s.c.RunningTasks + s.retryPending +
 			int64(s.sus.Len()) + int64(len(s.depBlocked))
 		invariant.Assertf(settled == s.c.GeneratedTasks,
-			"core: task conservation broken: generated %d != completed %d + discarded %d + running %d + suspended %d + dep-blocked %d",
-			s.c.GeneratedTasks, s.c.CompletedTasks, s.c.DiscardedTasks,
-			s.c.RunningTasks, s.sus.Len(), len(s.depBlocked))
+			"core: task conservation broken: generated %d != completed %d + discarded %d + lost %d + running %d + retrying %d + suspended %d + dep-blocked %d",
+			s.c.GeneratedTasks, s.c.CompletedTasks, s.c.DiscardedTasks, s.c.LostTasks,
+			s.c.RunningTasks, s.retryPending, s.sus.Len(), len(s.depBlocked))
 	}
 	if !s.params.Debug || s.err != nil {
 		return

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dreamsim/internal/fault"
+	"dreamsim/internal/metrics"
+)
+
+// TestFaultGoldenReport is a full-fidelity regression fixture: a
+// committed workload shape plus a scripted fault schedule whose
+// entire report — Table I metrics, raw counters and phase census —
+// must stay byte-for-byte identical to testdata/fault_golden.json.
+// Any behavioural drift in the fault, retry or drain paths shows up
+// as a diff. Regenerate deliberately with
+//
+//	DREAMSIM_UPDATE_GOLDEN=1 go test -run TestFaultGoldenReport ./internal/core/
+func TestFaultGoldenReport(t *testing.T) {
+	script, err := fault.ParseScript(
+		"crash@200:2,cfail@400,crash@900:5,recover@1500:2,cfail@2500,recover@4000:5,crash@6000:2,recover@9000:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallParams(12, 120, true)
+	p.Seed = 777
+	p.Debug = true
+	p.Faults = fault.Plan{Script: script}
+	p.Retry = fault.RetryPolicy{Budget: 2, BackoffBase: 8, BackoffCap: 64}
+	res := mustRun(t, p)
+
+	blob, err := json.MarshalIndent(struct {
+		Report   metrics.Report
+		Counters metrics.Counters
+		Phases   map[string]int64
+	}{res.Report, res.Counters, res.Phases}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+
+	golden := filepath.Join("testdata", "fault_golden.json")
+	if os.Getenv("DREAMSIM_UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(golden, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with DREAMSIM_UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("fault report drifted from golden fixture.\n--- got ---\n%s\n--- want ---\n%s", blob, want)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dreamsim/internal/fault"
 	"dreamsim/internal/metrics"
 	"dreamsim/internal/monitor"
 	"dreamsim/internal/report"
@@ -45,6 +46,16 @@ func (r *Result) XML(params Params) report.Simulation {
 		"config_time_range":      fmt.Sprintf("[%d,%d]", params.Spec.ConfigTimeLow, params.Spec.ConfigTimeHigh),
 		"closest_match_pct":      fmt.Sprintf("%g", params.Spec.ClosestMatchPct),
 		"reconfiguration":        r.Scenario,
+	}
+	// Fault knobs are echoed only on faulty runs so fault-free reports
+	// stay byte-identical to those of builds without the subsystem.
+	if params.Faults.Enabled() {
+		echo["fault_crash_rate"] = fmt.Sprintf("%g", params.Faults.CrashRate)
+		echo["fault_mean_downtime"] = fmt.Sprintf("%g", params.Faults.MeanDowntime)
+		echo["fault_reconfig_rate"] = fmt.Sprintf("%g", params.Faults.ReconfigFaultRate)
+		if len(params.Faults.Script) > 0 {
+			echo["fault_script"] = fault.FormatScript(params.Faults.Script)
+		}
 	}
 	return report.New(r.Scenario, r.Policy, r.Seed, echo, r.Report, r.Phases)
 }

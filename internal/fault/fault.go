@@ -1,0 +1,262 @@
+// Package fault implements DReAMSim's deterministic fault-injection
+// engine. It schedules node-crash / node-recover events and
+// reconfiguration-failure events into the simulation event queue,
+// either as Poisson streams drawn from the run's seeded RNG or as an
+// explicit scripted schedule (tests, regression fixtures).
+//
+// Determinism is the design constraint: all randomness flows through
+// an internal/rng stream split from the run seed, event times are
+// computed in integer timeticks, and the injector touches the
+// simulator only through the Target callback surface — so a faulty
+// run is byte-identical across processes and parallelism levels,
+// exactly like a fault-free one.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind is the type of one fault event.
+type Kind int
+
+const (
+	// KindCrash takes a node down: resident configurations are
+	// invalidated and in-flight tasks are displaced into the retry
+	// path.
+	KindCrash Kind = iota
+	// KindRecover brings a crashed node back into service, blank.
+	KindRecover
+	// KindReconfigFault arms one reconfiguration failure: the next
+	// bitstream load aborts, its reconfiguration time is wasted, and
+	// the task re-enters the suspension queue.
+	KindReconfigFault
+)
+
+// String implements fmt.Stringer using the script keywords.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindRecover:
+		return "recover"
+	case KindReconfigFault:
+		return "cfail"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one scripted fault occurrence.
+type Event struct {
+	// At is the timetick the event fires.
+	At int64
+	// Kind selects the fault type.
+	Kind Kind
+	// Node is the crash/recover target; ignored for KindReconfigFault.
+	Node int
+}
+
+// Plan configures the fault engine for one run. The zero value means
+// "no faults": the injector is never constructed and the run is
+// byte-identical to a build without the subsystem.
+type Plan struct {
+	// CrashRate is the mean node crashes per timetick across the
+	// population (Poisson process; 0 disables random crashes).
+	CrashRate float64
+	// MeanDowntime is the mean downtime of a randomly crashed node in
+	// timeticks (exponential); required when CrashRate > 0.
+	MeanDowntime float64
+	// ReconfigFaultRate is the mean reconfiguration-fault armings per
+	// timetick (Poisson process; 0 disables).
+	ReconfigFaultRate float64
+	// Script is an explicit fault schedule, fired verbatim alongside
+	// any random streams. Scripted crashes do not auto-recover; pair
+	// them with KindRecover events where recovery is wanted.
+	Script []Event
+}
+
+// Enabled reports whether the plan injects any faults at all.
+func (p Plan) Enabled() bool {
+	return p.CrashRate > 0 || p.ReconfigFaultRate > 0 || len(p.Script) > 0
+}
+
+// Validate reports the first incoherent parameter. Script node
+// numbers are range-checked later, by NewInjector, which knows the
+// population size.
+func (p Plan) Validate() error {
+	if bad(p.CrashRate) || p.CrashRate < 0 {
+		return fmt.Errorf("fault: invalid CrashRate %v", p.CrashRate)
+	}
+	if bad(p.MeanDowntime) || p.MeanDowntime < 0 {
+		return fmt.Errorf("fault: invalid MeanDowntime %v", p.MeanDowntime)
+	}
+	if bad(p.ReconfigFaultRate) || p.ReconfigFaultRate < 0 {
+		return fmt.Errorf("fault: invalid ReconfigFaultRate %v", p.ReconfigFaultRate)
+	}
+	if p.CrashRate > 0 && p.MeanDowntime <= 0 {
+		return fmt.Errorf("fault: CrashRate %v needs a positive MeanDowntime", p.CrashRate)
+	}
+	for i, ev := range p.Script {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: script event %d at negative tick %d", i, ev.At)
+		}
+		switch ev.Kind {
+		case KindCrash, KindRecover:
+			if ev.Node < 0 {
+				return fmt.Errorf("fault: script event %d targets negative node %d", i, ev.Node)
+			}
+		case KindReconfigFault:
+			// no target
+		default:
+			return fmt.Errorf("fault: script event %d has unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// bad reports a non-finite float (NaN or ±Inf).
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// ParseScript parses the textual fault-schedule syntax used by the
+// -fault-script CLI flag and test fixtures: comma-separated events
+// "crash@TICK:NODE", "recover@TICK:NODE" and "cfail@TICK", e.g.
+//
+//	crash@100:5,recover@250:5,cfail@300
+//
+// An empty string parses to a nil script.
+func ParseScript(s string) ([]Event, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Event
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(tok, "@")
+		if !ok {
+			return nil, fmt.Errorf("fault: script event %q: want kind@tick[:node]", tok)
+		}
+		var kind Kind
+		switch kindStr {
+		case "crash":
+			kind = KindCrash
+		case "recover":
+			kind = KindRecover
+		case "cfail":
+			kind = KindReconfigFault
+		default:
+			return nil, fmt.Errorf("fault: script event %q: unknown kind %q", tok, kindStr)
+		}
+		tickStr, nodeStr, hasNode := strings.Cut(rest, ":")
+		at, err := strconv.ParseInt(tickStr, 10, 64)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("fault: script event %q: bad tick %q", tok, tickStr)
+		}
+		ev := Event{At: at, Kind: kind}
+		if kind == KindReconfigFault {
+			if hasNode {
+				return nil, fmt.Errorf("fault: script event %q: cfail takes no node", tok)
+			}
+		} else {
+			if !hasNode {
+				return nil, fmt.Errorf("fault: script event %q: %s needs a :node suffix", tok, kindStr)
+			}
+			node, err := strconv.Atoi(nodeStr)
+			if err != nil || node < 0 {
+				return nil, fmt.Errorf("fault: script event %q: bad node %q", tok, nodeStr)
+			}
+			ev.Node = node
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// FormatScript renders events back into ParseScript's syntax.
+func FormatScript(events []Event) string {
+	parts := make([]string, 0, len(events))
+	for _, ev := range events {
+		if ev.Kind == KindReconfigFault {
+			parts = append(parts, fmt.Sprintf("%s@%d", ev.Kind, ev.At))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s@%d:%d", ev.Kind, ev.At, ev.Node))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Retry-path defaults, applied by RetryPolicy.WithDefaults when a
+// knob is left zero and faults are enabled.
+const (
+	// DefaultRetryBudget is how many crash displacements a task
+	// survives before it is counted lost.
+	DefaultRetryBudget = 3
+	// DefaultBackoffBase is the first re-dispatch delay in timeticks.
+	DefaultBackoffBase = 16
+	// DefaultBackoffCap bounds the exponential backoff growth.
+	DefaultBackoffCap = 4096
+)
+
+// RetryPolicy tunes the fault-displaced task retry path: a task
+// displaced by a node crash is re-dispatched after a capped
+// exponential backoff, at most Budget times, then counted lost.
+type RetryPolicy struct {
+	// Budget is the per-task displacement budget (0 = default).
+	Budget int64
+	// BackoffBase is the first backoff delay in timeticks (0 = default).
+	BackoffBase int64
+	// BackoffCap caps the doubling backoff (0 = default).
+	BackoffCap int64
+}
+
+// WithDefaults fills zero knobs with the package defaults.
+func (rp RetryPolicy) WithDefaults() RetryPolicy {
+	if rp.Budget == 0 {
+		rp.Budget = DefaultRetryBudget
+	}
+	if rp.BackoffBase == 0 {
+		rp.BackoffBase = DefaultBackoffBase
+	}
+	if rp.BackoffCap == 0 {
+		rp.BackoffCap = DefaultBackoffCap
+	}
+	return rp
+}
+
+// Validate reports the first incoherent knob.
+func (rp RetryPolicy) Validate() error {
+	if rp.Budget < 0 {
+		return fmt.Errorf("fault: negative retry budget %d", rp.Budget)
+	}
+	if rp.BackoffBase < 0 || rp.BackoffCap < 0 {
+		return fmt.Errorf("fault: negative backoff bounds [%d, %d]", rp.BackoffBase, rp.BackoffCap)
+	}
+	if rp.BackoffBase > 0 && rp.BackoffCap > 0 && rp.BackoffCap < rp.BackoffBase {
+		return fmt.Errorf("fault: backoff cap %d below base %d", rp.BackoffCap, rp.BackoffBase)
+	}
+	return nil
+}
+
+// Backoff returns the delay before re-dispatch attempt number
+// `attempt` (1-based): BackoffBase doubling per attempt, capped at
+// BackoffCap. The doubling loop guards against shift overflow by
+// stopping at the cap.
+func (rp RetryPolicy) Backoff(attempt int64) int64 {
+	d := rp.BackoffBase
+	for i := int64(1); i < attempt; i++ {
+		if d >= rp.BackoffCap {
+			return rp.BackoffCap
+		}
+		d <<= 1
+	}
+	if d > rp.BackoffCap {
+		return rp.BackoffCap
+	}
+	return d
+}

@@ -1,0 +1,159 @@
+package fault
+
+import (
+	"fmt"
+
+	"dreamsim/internal/rng"
+	"dreamsim/internal/sim"
+)
+
+// Target is the slice of the simulator the injector acts on. The
+// callbacks must tolerate redundant events: crashing a down node and
+// recovering an up node are no-ops, which lets scripts and random
+// streams overlap safely.
+type Target interface {
+	// NodeCount is the size of the node population.
+	NodeCount() int
+	// NodeDown reports whether node no is currently down.
+	NodeDown(no int) bool
+	// Crash takes node no down at time now.
+	Crash(no int, now int64)
+	// Recover brings node no back at time now.
+	Recover(no int, now int64)
+	// ArmReconfigFault makes the next reconfiguration attempt fail.
+	ArmReconfigFault(now int64)
+	// Live reports whether the simulation still has work in flight
+	// (arrivals pending, tasks running, suspended or retrying). The
+	// random fault streams stop perpetuating themselves once the
+	// system has drained, so the run can terminate.
+	Live() bool
+}
+
+// Injector schedules a Plan's fault events into the simulation event
+// queue. Construct with NewInjector, then Start once before the
+// engine runs.
+type Injector struct {
+	plan Plan
+	r    *rng.RNG
+	eng  *sim.Engine
+	t    Target
+
+	// pendingRecoveries counts scheduled node recoveries that have
+	// not fired yet; the core consults it before declaring the system
+	// unable to make progress (a recovering node may yet host the
+	// suspended backlog).
+	pendingRecoveries int
+}
+
+// NewInjector validates the plan against the population and builds an
+// injector. The RNG is only consulted by the random streams; it must
+// be non-nil when either rate is positive.
+func NewInjector(plan Plan, r *rng.RNG, eng *sim.Engine, t Target) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if r == nil && (plan.CrashRate > 0 || plan.ReconfigFaultRate > 0) {
+		return nil, fmt.Errorf("fault: random fault rates need an RNG stream")
+	}
+	n := t.NodeCount()
+	for i, ev := range plan.Script {
+		if ev.Kind != KindReconfigFault && ev.Node >= n {
+			return nil, fmt.Errorf("fault: script event %d targets node %d of %d", i, ev.Node, n)
+		}
+	}
+	return &Injector{plan: plan, r: r, eng: eng, t: t}, nil
+}
+
+// PendingRecoveries reports how many scheduled recoveries are still
+// in flight.
+func (in *Injector) PendingRecoveries() int { return in.pendingRecoveries }
+
+// Start schedules the scripted events and the first random draws.
+// Call exactly once, before the engine runs.
+func (in *Injector) Start() {
+	for _, ev := range in.plan.Script {
+		ev := ev
+		switch ev.Kind {
+		case KindCrash:
+			in.eng.ScheduleAt(ev.At, "fault:crash", func(now int64) {
+				in.t.Crash(ev.Node, now)
+			})
+		case KindRecover:
+			in.pendingRecoveries++
+			in.eng.ScheduleAt(ev.At, "fault:recover", func(now int64) {
+				in.pendingRecoveries--
+				in.t.Recover(ev.Node, now)
+			})
+		case KindReconfigFault:
+			in.eng.ScheduleAt(ev.At, "fault:cfail", func(now int64) {
+				in.t.ArmReconfigFault(now)
+			})
+		}
+	}
+	if in.plan.CrashRate > 0 {
+		in.scheduleNextCrash()
+	}
+	if in.plan.ReconfigFaultRate > 0 {
+		in.scheduleNextArming()
+	}
+}
+
+// gap draws one inter-event gap of a Poisson process with the given
+// rate, in whole timeticks (at least 1 so streams always advance).
+func (in *Injector) gap(rate float64) int64 {
+	return 1 + int64(in.r.ExpRate(rate))
+}
+
+func (in *Injector) scheduleNextCrash() {
+	in.eng.ScheduleAfter(in.gap(in.plan.CrashRate), "fault:crash", in.randomCrash)
+}
+
+// randomCrash is one firing of the random crash stream: crash a
+// uniformly chosen up node, schedule its recovery after an
+// exponential downtime, and perpetuate the stream — unless the
+// simulation has drained, in which case the stream dies so the run
+// can end.
+func (in *Injector) randomCrash(now int64) {
+	if !in.t.Live() {
+		return
+	}
+	if no, ok := in.pickUpNode(); ok {
+		in.t.Crash(no, now)
+		downtime := 1 + int64(in.r.ExpRate(1/in.plan.MeanDowntime))
+		in.pendingRecoveries++
+		in.eng.ScheduleAt(now+downtime, "fault:recover", func(at int64) {
+			in.pendingRecoveries--
+			in.t.Recover(no, at)
+		})
+	}
+	in.scheduleNextCrash()
+}
+
+// pickUpNode selects a uniform up node; ok is false when the whole
+// population is down.
+func (in *Injector) pickUpNode() (no int, ok bool) {
+	n := in.t.NodeCount()
+	up := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !in.t.NodeDown(i) {
+			up = append(up, i)
+		}
+	}
+	if len(up) == 0 {
+		return 0, false
+	}
+	return up[in.r.Intn(len(up))], true
+}
+
+func (in *Injector) scheduleNextArming() {
+	in.eng.ScheduleAfter(in.gap(in.plan.ReconfigFaultRate), "fault:cfail", in.randomArming)
+}
+
+// randomArming is one firing of the reconfiguration-fault stream.
+func (in *Injector) randomArming(now int64) {
+	if !in.t.Live() {
+		return
+	}
+	in.t.ArmReconfigFault(now)
+	in.scheduleNextArming()
+}

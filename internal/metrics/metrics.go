@@ -31,6 +31,15 @@ type Counters struct {
 	Reconfigurations  int64  // total bitstream sends
 	SusRetries        int64  // suspension queue re-examinations
 
+	// Fault-injection accounting; all zero in fault-free runs.
+	NodeCrashes      int64 // node crash events applied
+	NodeRecoveries   int64 // crashed nodes returned to service
+	DowntimeTicks    int64 // Σ (recover − crash) lapses across nodes
+	TasksRetried     int64 // crash-displaced re-dispatches scheduled
+	LostTasks        int64 // tasks that exhausted the retry budget
+	ReconfigFaults   int64 // reconfiguration attempts that aborted
+	WastedConfigTime int64 // ticks charged to aborted reconfigurations
+
 	// UsedNodes counts nodes that received at least one task.
 	UsedNodes int64
 	// SimulationTime is the final timetick (Eq. 5).
@@ -43,7 +52,7 @@ type Counters struct {
 // or scheduled state; the run is drained when this equals
 // GeneratedTasks and nothing is running or suspended.
 func (c *Counters) Accounted() int64 {
-	return c.CompletedTasks + c.DiscardedTasks + c.SuspendedTasks + c.RunningTasks
+	return c.CompletedTasks + c.DiscardedTasks + c.LostTasks + c.SuspendedTasks + c.RunningTasks
 }
 
 // TotalSchedulerWorkload is the Table I metric: scheduler search
@@ -77,6 +86,25 @@ type Report struct {
 	SusQueuePeak     int64   `json:"sus_queue_peak"`
 	SusRetries       int64   `json:"sus_retries"`
 	DiscardRate      float64 `json:"discard_rate"`
+
+	// Fault-injection outcomes. The omitempty tags keep fault-free
+	// serialised reports byte-identical to builds without the fault
+	// subsystem.
+	NodeCrashes        int64   `json:"node_crashes,omitempty"`
+	NodeRecoveries     int64   `json:"node_recoveries,omitempty"`
+	TasksRetried       int64   `json:"tasks_retried,omitempty"`
+	TasksLost          int64   `json:"tasks_lost,omitempty"`
+	ReconfigFaults     int64   `json:"reconfig_faults,omitempty"`
+	WastedConfigTicks  int64   `json:"wasted_config_ticks,omitempty"`
+	AvgDowntimePerNode float64 `json:"avg_downtime_per_node,omitempty"`
+}
+
+// HasFaults reports whether the run saw any fault activity; reports
+// of fault-free runs render without the fault rows.
+func (r Report) HasFaults() bool {
+	return r.NodeCrashes != 0 || r.NodeRecoveries != 0 || r.TasksRetried != 0 ||
+		r.TasksLost != 0 || r.ReconfigFaults != 0 || r.WastedConfigTicks != 0 ||
+		r.AvgDowntimePerNode != 0
 }
 
 // Compute derives the Table I metrics from the raw counters.
@@ -97,6 +125,12 @@ func Compute(c *Counters) Report {
 		Reconfigurations:       c.Reconfigurations,
 		SusQueuePeak:           c.SusQueuePeak,
 		SusRetries:             c.SusRetries,
+		NodeCrashes:            c.NodeCrashes,
+		NodeRecoveries:         c.NodeRecoveries,
+		TasksRetried:           c.TasksRetried,
+		TasksLost:              c.LostTasks,
+		ReconfigFaults:         c.ReconfigFaults,
+		WastedConfigTicks:      c.WastedConfigTime,
 	}
 	if tasks > 0 {
 		r.AvgWastedAreaPerTask = float64(c.WastedArea) / tasks
@@ -110,6 +144,7 @@ func Compute(c *Counters) Report {
 	}
 	if nodes > 0 {
 		r.AvgReconfigCountPerNode = float64(c.Reconfigurations) / nodes
+		r.AvgDowntimePerNode = float64(c.DowntimeTicks) / nodes
 	}
 	return r
 }

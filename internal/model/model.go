@@ -23,6 +23,9 @@ const (
 	StateIdle
 	// StateBusy: at least one task running.
 	StateBusy
+	// StateDown: the node crashed and has not recovered yet; it holds
+	// no configurations and no placement search may select it.
+	StateDown
 )
 
 // String implements fmt.Stringer.
@@ -34,6 +37,8 @@ func (s NodeState) String() string {
 		return "idle"
 	case StateBusy:
 		return "busy"
+	case StateDown:
+		return "down"
 	default:
 		return fmt.Sprintf("NodeState(%d)", int(s))
 	}
@@ -86,6 +91,8 @@ const (
 	TaskRunning                     // executing on a node
 	TaskCompleted                   // finished successfully
 	TaskDiscarded                   // dropped: no feasible placement
+	TaskRetrying                    // displaced by a node crash, awaiting re-dispatch
+	TaskLost                        // displaced by faults until the retry budget ran out
 )
 
 // String implements fmt.Stringer.
@@ -101,6 +108,10 @@ func (s TaskStatus) String() string {
 		return "completed"
 	case TaskDiscarded:
 		return "discarded"
+	case TaskRetrying:
+		return "retrying"
+	case TaskLost:
+		return "lost"
 	default:
 		return fmt.Sprintf("TaskStatus(%d)", int(s))
 	}

@@ -22,6 +22,11 @@ var (
 	// ErrCapsMismatch: the node lacks a capability the configuration
 	// requires.
 	ErrCapsMismatch = errors.New("model: node lacks required capability")
+	// ErrNodeDown: the node crashed and has not recovered; no
+	// configuration or task may be pushed onto it.
+	ErrNodeDown = errors.New("model: node is down")
+	// ErrNodeUp: Restore was called on a node that is not down.
+	ErrNodeUp = errors.New("model: node is not down")
 )
 
 // Node is a reconfigurable processing node (paper Eq. 1):
@@ -54,6 +59,10 @@ type Node struct {
 	// full-reconfiguration FPGA — at most one resident configuration
 	// and one task ("one node-one task mapping").
 	PartialMode bool
+	// Down marks a crashed node. A down node holds no configurations
+	// (the fabric state died with it) and is excluded from every
+	// placement search until Restore brings it back blank.
+	Down bool
 }
 
 // NewNode returns a blank node with the given geometry.
@@ -70,6 +79,9 @@ func NewNode(no int, totalArea Area, partial bool) *Node {
 // State derives the node status (paper Eq. 1 `state` plus the blank
 // distinction used by the scheduling algorithm in §V).
 func (n *Node) State() NodeState {
+	if n.Down {
+		return StateDown
+	}
 	if len(n.Entries) == 0 {
 		return StateBlank
 	}
@@ -152,6 +164,9 @@ func (n *Node) FindEntryWithConfig(cfgNo int) *Entry {
 // full mode the node must be blank first; the node must offer every
 // capability the configuration requires.
 func (n *Node) SendBitstream(cfg *Config) (*Entry, error) {
+	if n.Down {
+		return nil, fmt.Errorf("%w: node %d", ErrNodeDown, n.No)
+	}
 	if !n.PartialMode && len(n.Entries) > 0 {
 		return nil, ErrFullModeViolation
 	}
@@ -223,6 +238,9 @@ func (n *Node) removeEntry(e *Entry) bool {
 // AddTaskToNode starts task on the region entry (paper method). The
 // entry must be idle and resident on this node.
 func (n *Node) AddTaskToNode(e *Entry, task *Task) error {
+	if n.Down {
+		return fmt.Errorf("%w: node %d", ErrNodeDown, n.No)
+	}
 	if e.Node != n {
 		return ErrEntryForeign
 	}
@@ -236,6 +254,40 @@ func (n *Node) AddTaskToNode(e *Entry, task *Task) error {
 	e.Task = task
 	task.AssignedConfig = e.Config.No
 	task.Status = TaskRunning
+	return nil
+}
+
+// Fail crashes the node: the tasks it was running are detached and
+// returned (the caller requeues them), every resident configuration
+// is invalidated — the fabric state is lost with the node — and the
+// node is marked down so placement searches exclude it. The removed
+// entries are returned so callers (the resource lists) can unlink
+// them. Failing a node that is already down is an error; callers
+// treat repeat crashes as no-ops before the state change.
+func (n *Node) Fail() (tasks []*Task, removed []*Entry, err error) {
+	if n.Down {
+		return nil, nil, fmt.Errorf("%w: node %d", ErrNodeDown, n.No)
+	}
+	for _, e := range n.Entries {
+		if e.Task != nil {
+			tasks = append(tasks, e.Task)
+			e.Task = nil
+		}
+	}
+	removed = n.Entries
+	n.Entries = nil
+	n.AvailableArea = n.TotalArea
+	n.Down = true
+	return tasks, removed, nil
+}
+
+// Restore brings a crashed node back into service, blank: the fabric
+// is usable again but holds no configurations.
+func (n *Node) Restore() error {
+	if !n.Down {
+		return fmt.Errorf("%w: node %d", ErrNodeUp, n.No)
+	}
+	n.Down = false
 	return nil
 }
 
@@ -271,6 +323,9 @@ func (n *Node) CheckInvariants() error {
 		if e.InIdle && e.InBusy {
 			return fmt.Errorf("node %d: entry C%d in both idle and busy lists", n.No, e.Config.No)
 		}
+	}
+	if n.Down && len(n.Entries) > 0 {
+		return fmt.Errorf("node %d: down but still holds %d configurations", n.No, len(n.Entries))
 	}
 	if n.AvailableArea != n.TotalArea-used {
 		return fmt.Errorf("node %d: Eq.4 violated: available %d != total %d - used %d",

@@ -45,6 +45,9 @@ type Task struct {
 	// SusRetry counts how many times the task was re-examined while
 	// sitting in the suspension queue.
 	SusRetry int64
+	// Retries counts how many times the task was displaced by a node
+	// crash and re-dispatched; bounded by the run's retry budget.
+	Retries int64
 
 	// Resolved caches the configuration the scheduler resolved for
 	// this task (Cpref if present in the configurations list, else

@@ -25,10 +25,11 @@ type ConfigCensus struct {
 type Snapshot struct {
 	Time int64
 
-	// Node-state census.
+	// Node-state census. DownNodes stays zero in fault-free runs.
 	BlankNodes int
 	IdleNodes  int
 	BusyNodes  int
+	DownNodes  int
 
 	// Task census.
 	RunningTasks int
@@ -58,6 +59,8 @@ func Take(m *resinfo.Manager, now int64) Snapshot {
 			s.IdleNodes++
 		case model.StateBusy:
 			s.BusyNodes++
+		case model.StateDown:
+			s.DownNodes++
 		}
 		if !n.Blank() {
 			s.WastedArea += n.AvailableArea // Eq. 6
@@ -97,10 +100,15 @@ func (s Snapshot) Utilization() float64 {
 	return float64(s.ConfiguredArea) / float64(s.TotalArea)
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. The down census only appears
+// when nodes are actually down, so fault-free output is unchanged.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("t=%d nodes[blank=%d idle=%d busy=%d] tasks=%d util=%.1f%% wasted=%d",
-		s.Time, s.BlankNodes, s.IdleNodes, s.BusyNodes, s.RunningTasks,
+	down := ""
+	if s.DownNodes > 0 {
+		down = fmt.Sprintf(" down=%d", s.DownNodes)
+	}
+	return fmt.Sprintf("t=%d nodes[blank=%d idle=%d busy=%d%s] tasks=%d util=%.1f%% wasted=%d",
+		s.Time, s.BlankNodes, s.IdleNodes, s.BusyNodes, down, s.RunningTasks,
 		100*s.Utilization(), s.WastedArea)
 }
 

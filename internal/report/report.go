@@ -56,6 +56,9 @@ func New(scenario, policy string, seed uint64, params map[string]string,
 	for _, m := range MetricRows(rep) {
 		s.Metrics = append(s.Metrics, m)
 	}
+	if rep.HasFaults() {
+		s.Metrics = append(s.Metrics, FaultMetricRows(rep)...)
+	}
 	for _, k := range sortedKeysI64(phases) {
 		s.Phases = append(s.Phases, Phase{Name: k, Count: phases[k]})
 	}
@@ -76,6 +79,22 @@ func MetricRows(r metrics.Report) []Metric {
 		{"total_scheduler_workload", float64(r.TotalSchedulerWorkload)},
 		{"total_used_nodes", float64(r.TotalUsedNodes)},
 		{"total_simulation_time", float64(r.TotalSimulationTime)},
+	}
+}
+
+// FaultMetricRows flattens the fault-injection outcomes into named
+// rows. Callers append them after MetricRows only when
+// r.HasFaults(), which keeps fault-free reports byte-identical to
+// those of builds without the fault subsystem.
+func FaultMetricRows(r metrics.Report) []Metric {
+	return []Metric{
+		{"node_crashes", float64(r.NodeCrashes)},
+		{"node_recoveries", float64(r.NodeRecoveries)},
+		{"avg_downtime_per_node", r.AvgDowntimePerNode},
+		{"tasks_retried", float64(r.TasksRetried)},
+		{"tasks_lost", float64(r.TasksLost)},
+		{"reconfig_faults", float64(r.ReconfigFaults)},
+		{"wasted_config_ticks", float64(r.WastedConfigTicks)},
 	}
 }
 
@@ -107,7 +126,11 @@ func TableIText(r metrics.Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-34s %18s\n", "performance metric", "value")
 	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 53))
-	for _, m := range MetricRows(r) {
+	rows := MetricRows(r)
+	if r.HasFaults() {
+		rows = append(rows, FaultMetricRows(r)...)
+	}
+	for _, m := range rows {
 		fmt.Fprintf(&b, "%-34s %18s\n", m.Name, compact(m.Value))
 	}
 	return b.String()
@@ -120,6 +143,10 @@ func CompareText(nameA string, a metrics.Report, nameB string, b metrics.Report)
 	fmt.Fprintf(&sb, "%-34s %18s %18s\n", "performance metric", nameA, nameB)
 	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 72))
 	rowsA, rowsB := MetricRows(a), MetricRows(b)
+	if a.HasFaults() || b.HasFaults() {
+		rowsA = append(rowsA, FaultMetricRows(a)...)
+		rowsB = append(rowsB, FaultMetricRows(b)...)
+	}
 	for i := range rowsA {
 		fmt.Fprintf(&sb, "%-34s %18s %18s\n", rowsA[i].Name,
 			compact(rowsA[i].Value), compact(rowsB[i].Value))

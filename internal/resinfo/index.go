@@ -285,8 +285,11 @@ func newNodeIndex(nodes []*model.Node, configs []*model.Config) (*nodeIndex, boo
 func (ix *nodeIndex) sync(pos int, n *model.Node) {
 	st := &ix.state[pos]
 	b := ix.buckets[st.mask]
-	blank := n.Blank()
-	part := n.PartialMode && !blank
+	// A down node belongs to no search category: it is structurally
+	// blank (its entries died with it) but must never be returned by
+	// BestBlankNode until it recovers.
+	blank := n.Blank() && !n.Down
+	part := n.PartialMode && !n.Blank()
 	busy := n.State() == model.StateBusy
 
 	if blank != st.blank {
@@ -390,7 +393,7 @@ func (ix *nodeIndex) check() error {
 	for i, n := range ix.nodes {
 		st := ix.state[i]
 		b := ix.buckets[st.mask]
-		blank, part, busy := n.Blank(), n.PartialMode && !n.Blank(), n.State() == model.StateBusy
+		blank, part, busy := n.Blank() && !n.Down, n.PartialMode && !n.Blank(), n.State() == model.StateBusy
 		if st.blank != blank || st.part != part || st.busy != busy {
 			return fmt.Errorf("resinfo: index state for node %d is (blank=%v part=%v busy=%v), node is (%v %v %v)",
 				n.No, st.blank, st.part, st.busy, blank, part, busy)

@@ -21,10 +21,11 @@ import (
 // state must flow through it so the idle/busy lists, Eq. 4 area
 // accounting, and the housekeeping counters stay consistent.
 type Manager struct {
-	nodes   []*model.Node
-	configs []*model.Config
-	pairs   map[int]reslists.Pair // config No -> idle/busy lists
-	c       *metrics.Counters
+	nodes     []*model.Node
+	configs   []*model.Config
+	pairs     map[int]reslists.Pair // config No -> idle/busy lists
+	c         *metrics.Counters
+	downCount int // nodes currently failed (CrashNode minus RecoverNode)
 
 	// Fast-search state (nil/empty when the linear paper paths run).
 	wantFast  bool
@@ -104,6 +105,8 @@ func (m *Manager) reindex(node *model.Node) {
 		invariant.Assertf(node.AvailableArea >= 0 && node.AvailableArea <= node.TotalArea,
 			"resinfo: node %d available area %d outside [0, %d] after a state transition (Eq. 4)",
 			node.No, node.AvailableArea, node.TotalArea)
+		invariant.Assertf(!node.Down || len(node.Entries) == 0,
+			"resinfo: down node %d still holds %d configurations", node.No, len(node.Entries))
 	}
 	if m.idx != nil {
 		m.idx.sync(m.idx.pos[node], node)
@@ -249,6 +252,38 @@ func (m *Manager) BlankNode(node *model.Node) error {
 	return nil
 }
 
+// CrashNode fails node: the fabric state dies with it, so every
+// resident configuration is invalidated and unlinked from the
+// idle/busy lists, and the tasks it was running are detached and
+// returned for the caller's retry path. The node is excluded from
+// every placement search until RecoverNode. Unlinking the dead
+// regions is list maintenance like any eviction, so it charges
+// housekeeping steps.
+func (m *Manager) CrashNode(node *model.Node) ([]*model.Task, error) {
+	tasks, removed, err := node.Fail()
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range removed {
+		m.housekeep(m.Pair(v.Config.No).Drop(v))
+	}
+	m.downCount++
+	m.reindex(node)
+	return tasks, nil
+}
+
+// RecoverNode returns a crashed node to service, blank. Relinking the
+// node into the searchable population is one housekeeping step.
+func (m *Manager) RecoverNode(node *model.Node) error {
+	if err := node.Restore(); err != nil {
+		return err
+	}
+	m.downCount--
+	m.housekeep(1)
+	m.reindex(node)
+	return nil
+}
+
 // StartTask places task on the idle region e (paper AddTaskToNode)
 // and moves the region to its configuration's busy list.
 func (m *Manager) StartTask(e *model.Entry, task *model.Task) error {
@@ -303,7 +338,7 @@ func (m *Manager) BestBlankNode(cfg *model.Config) *model.Node {
 	var steps uint64
 	for _, n := range m.nodes {
 		steps++
-		if n.Blank() && n.TotalArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) &&
+		if !n.Down && n.Blank() && n.TotalArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) &&
 			(best == nil || n.TotalArea < best.TotalArea) {
 			best = n
 		}
@@ -401,6 +436,27 @@ func (m *Manager) AnyBusyNodeCouldFit(cfg *model.Config) bool {
 	return false
 }
 
+// AnyDownNodeCouldFit reports whether a currently-down node could
+// host cfg once it recovers — the fault extension of the paper's
+// suspend-or-discard check: a task that only lost its hosts to a
+// transient outage should wait for recovery, not be discarded. The
+// walk is deliberately uncharged: it is a fault-path liveness probe,
+// not part of the paper's search model, so fault-free runs charge
+// exactly the steps they always did.
+//
+//lint:metering fault-path liveness probe; uncharged so fault-free metering stays identical
+func (m *Manager) AnyDownNodeCouldFit(cfg *model.Config) bool {
+	if m.downCount == 0 {
+		return false
+	}
+	for _, n := range m.nodes {
+		if n.Down && n.TotalArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) {
+			return true
+		}
+	}
+	return false
+}
+
 // CheckInvariants validates global consistency: every node passes its
 // own checks, every region sits in exactly the right list, and list
 // linkage is intact. Intended for tests and debug runs.
@@ -450,6 +506,10 @@ func (m *Manager) CheckInvariants() error {
 	for _, n := range m.nodes {
 		if err := n.CheckInvariants(); err != nil {
 			return err
+		}
+		if n.Down && n.AvailableArea != n.TotalArea {
+			return fmt.Errorf("resinfo: down node %d has available %d != total %d",
+				n.No, n.AvailableArea, n.TotalArea)
 		}
 		for _, e := range n.Entries {
 			if !listed[e] {

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"dreamsim/internal/model"
+	"dreamsim/internal/rng"
+)
+
+// TestPlacementsAgainstMidDecisionCrash covers all four Allocation
+// placement criteria against a node that crashes between Decide and
+// Apply: applying the stale decision must fail with the model's
+// down-node guard, and a fresh decision must exclude the crashed node.
+func TestPlacementsAgainstMidDecisionCrash(t *testing.T) {
+	cases := []struct {
+		name string
+		pl   Placement
+	}{
+		{"best-fit", BestFit},
+		{"first-fit", FirstFit},
+		{"worst-fit", WorstFit},
+		{"random-fit", RandomFit},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := rig(t, []int64{4000, 2000, 3000}, []int64{500}, true)
+			cfg := m.Configs()[0]
+			for _, n := range m.Nodes() {
+				if _, err := m.Configure(n, cfg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			opts := Options{Placement: tc.pl}
+			if tc.pl == RandomFit {
+				opts.RNG = rng.New(5)
+			}
+			p := New(opts)
+			tk := task(0, 0, 500)
+
+			d := p.Decide(m, tk)
+			if d.Action != ActAllocate {
+				t.Fatalf("decision = %s, want allocate (all nodes hold an idle C0 region)", d)
+			}
+			victim := d.TargetNode()
+
+			// The node crashes between the decision and its application.
+			if _, err := m.CrashNode(victim); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := Apply(m, tk, d); !errors.Is(err, model.ErrNodeDown) {
+				t.Fatalf("Apply on crashed node: err = %v, want ErrNodeDown", err)
+			}
+
+			// A fresh decision must route around the crashed node.
+			d2 := p.Decide(m, tk)
+			if !d2.Places() {
+				t.Fatalf("no alternative placement found: %s", d2)
+			}
+			alt := d2.TargetNode()
+			if alt == victim {
+				t.Fatalf("fresh decision still targets crashed node %d", alt.No)
+			}
+			if _, _, err := Apply(m, tk, d2); err != nil {
+				t.Fatalf("applying rerouted decision: %v", err)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDecideWithOnlyDownNodesSuspends pins the search-exclusion
+// contract end to end: with the entire population down, no phase of
+// the scheduling algorithm may place, so the verdict degrades to
+// suspension (or discard when suspension is off), never a crash.
+func TestDecideWithOnlyDownNodesSuspends(t *testing.T) {
+	m := rig(t, []int64{4000, 3000}, []int64{500}, true)
+	for _, n := range m.Nodes() {
+		if _, err := m.CrashNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(Options{})
+	d := p.Decide(m, task(0, 0, 500))
+	if d.Places() {
+		t.Fatalf("placed on a fully-down population: %s", d)
+	}
+	if d.Action != ActSuspend {
+		t.Fatalf("verdict = %s, want suspend", d.Action)
+	}
+}

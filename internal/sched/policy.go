@@ -145,8 +145,12 @@ func (p *paperPolicy) Decide(m *resinfo.Manager, task *model.Task) Decision {
 		d.Action, d.Node, d.Evict = ActReconfigure, n, victims
 		return d
 	}
-	// Suspension or discard.
-	if !p.opts.DisableSuspension && m.AnyBusyNodeCouldFit(cfg) {
+	// Suspension or discard. A down node that could fit counts too:
+	// tasks displaced by a transient outage wait for recovery rather
+	// than being discarded (short-circuit keeps fault-free metering
+	// identical — the uncharged down-probe only runs after the paper's
+	// busy-fit check already said no).
+	if !p.opts.DisableSuspension && (m.AnyBusyNodeCouldFit(cfg) || m.AnyDownNodeCouldFit(cfg)) {
 		d.Action = ActSuspend
 		return d
 	}
