@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// sweepDelta is one sweep's old-vs-new comparison.
+type sweepDelta struct {
+	Label      string
+	Old, New   float64 // cells/sec
+	Change     float64 // fractional change, negative = slower
+	Regression bool    // slowdown beyond the tolerance
+	Missing    bool    // sweep present in old but absent from new
+	Added      bool    // sweep present in new only
+}
+
+// compareReports matches the two reports' sweeps by label and flags
+// any whose new cells/sec falls below old*(1-tolerance). Sweeps only
+// one side has are reported but never count as regressions — a grown
+// benchmark must not fail its first comparison against an older
+// baseline.
+func compareReports(oldRep, newRep report, tolerance float64) []sweepDelta {
+	newByLabel := make(map[string]sweep, len(newRep.Sweeps))
+	for _, s := range newRep.Sweeps {
+		newByLabel[s.Label] = s
+	}
+	var out []sweepDelta
+	for _, o := range oldRep.Sweeps {
+		n, ok := newByLabel[o.Label]
+		if !ok {
+			out = append(out, sweepDelta{Label: o.Label, Old: o.CellsPerSec, Missing: true})
+			continue
+		}
+		delete(newByLabel, o.Label)
+		d := sweepDelta{Label: o.Label, Old: o.CellsPerSec, New: n.CellsPerSec}
+		if o.CellsPerSec > 0 {
+			d.Change = (n.CellsPerSec - o.CellsPerSec) / o.CellsPerSec
+			d.Regression = n.CellsPerSec < o.CellsPerSec*(1-tolerance)
+		}
+		out = append(out, d)
+	}
+	// Preserve new-report order for sweeps the old baseline lacks.
+	for _, s := range newRep.Sweeps {
+		if _, left := newByLabel[s.Label]; left {
+			out = append(out, sweepDelta{Label: s.Label, New: s.CellsPerSec, Added: true})
+		}
+	}
+	return out
+}
+
+// formatDelta renders one comparison row.
+func formatDelta(d sweepDelta) string {
+	switch {
+	case d.Missing:
+		return fmt.Sprintf("%-12s %8.1f -> (missing)  cells/s", d.Label, d.Old)
+	case d.Added:
+		return fmt.Sprintf("%-12s (new)    -> %8.1f  cells/s", d.Label, d.New)
+	default:
+		verdict := "ok"
+		if d.Regression {
+			verdict = "REGRESSION"
+		}
+		return fmt.Sprintf("%-12s %8.1f -> %8.1f  cells/s  (%+.1f%%)  %s",
+			d.Label, d.Old, d.New, d.Change*100, verdict)
+	}
+}
+
+// loadReport reads a BENCH_<date>.json file.
+func loadReport(path string) (report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// runCompare implements `dreambench -compare old.json new.json`: it
+// prints a per-sweep delta table and returns 1 when any sweep shared
+// by both reports slowed down beyond the tolerance.
+func runCompare(w *strings.Builder, oldPath, newPath string, tolerance float64) (int, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 1, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 1, err
+	}
+	deltas := compareReports(oldRep, newRep, tolerance)
+	fmt.Fprintf(w, "%s (%s) vs %s (%s), tolerance %.0f%%\n",
+		oldPath, oldRep.Date, newPath, newRep.Date, tolerance*100)
+	code := 0
+	for _, d := range deltas {
+		fmt.Fprintln(w, formatDelta(d))
+		if d.Regression {
+			code = 1
+		}
+	}
+	return code, nil
+}

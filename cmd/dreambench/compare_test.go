@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchFile(t *testing.T, dir, name string, sweeps []sweep) string {
+	t.Helper()
+	r := report{Date: name, Sweeps: sweeps}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsFlagsRegressions(t *testing.T) {
+	oldRep := report{Sweeps: []sweep{
+		{Label: "sequential", CellsPerSec: 150},
+		{Label: "parallel", CellsPerSec: 400},
+		{Label: "fast-search", CellsPerSec: 150},
+	}}
+	newRep := report{Sweeps: []sweep{
+		{Label: "sequential", CellsPerSec: 140},  // -6.7%: inside tolerance
+		{Label: "parallel", CellsPerSec: 320},    // -20%: regression
+		{Label: "fast-search", CellsPerSec: 180}, // improvement
+		{Label: "tick-step", CellsPerSec: 12},    // new sweep: never a regression
+	}}
+	deltas := compareReports(oldRep, newRep, 0.10)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4", len(deltas))
+	}
+	byLabel := map[string]sweepDelta{}
+	for _, d := range deltas {
+		byLabel[d.Label] = d
+	}
+	if byLabel["sequential"].Regression {
+		t.Error("6.7% slowdown flagged at 10% tolerance")
+	}
+	if !byLabel["parallel"].Regression {
+		t.Error("20% slowdown not flagged at 10% tolerance")
+	}
+	if byLabel["fast-search"].Regression {
+		t.Error("improvement flagged as regression")
+	}
+	if d := byLabel["tick-step"]; !d.Added || d.Regression {
+		t.Errorf("new sweep misreported: %+v", d)
+	}
+}
+
+func TestCompareReportsToleranceBoundary(t *testing.T) {
+	oldRep := report{Sweeps: []sweep{{Label: "s", CellsPerSec: 100}}}
+	at := report{Sweeps: []sweep{{Label: "s", CellsPerSec: 90}}}     // exactly -10%
+	beyond := report{Sweeps: []sweep{{Label: "s", CellsPerSec: 89}}} // past it
+	if compareReports(oldRep, at, 0.10)[0].Regression {
+		t.Error("slowdown exactly at tolerance must pass")
+	}
+	if !compareReports(oldRep, beyond, 0.10)[0].Regression {
+		t.Error("slowdown beyond tolerance must fail")
+	}
+}
+
+func TestCompareReportsMissingSweep(t *testing.T) {
+	oldRep := report{Sweeps: []sweep{{Label: "gone", CellsPerSec: 50}}}
+	deltas := compareReports(oldRep, report{}, 0.10)
+	if len(deltas) != 1 || !deltas[0].Missing || deltas[0].Regression {
+		t.Fatalf("missing sweep misreported: %+v", deltas)
+	}
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := benchFile(t, dir, "old", []sweep{{Label: "sequential", CellsPerSec: 150}})
+	okPath := benchFile(t, dir, "ok", []sweep{{Label: "sequential", CellsPerSec: 149}})
+	badPath := benchFile(t, dir, "bad", []sweep{{Label: "sequential", CellsPerSec: 100}})
+
+	var out strings.Builder
+	code, err := runCompare(&out, oldPath, okPath, 0.10)
+	if err != nil || code != 0 {
+		t.Fatalf("healthy compare: code %d err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("output missing verdict:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = runCompare(&out, oldPath, badPath, 0.10)
+	if err != nil || code != 1 {
+		t.Fatalf("regressed compare: code %d err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("output missing REGRESSION:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code, err = runCompare(&out, filepath.Join(dir, "absent.json"), okPath, 0.10); err == nil || code == 0 {
+		t.Fatal("unreadable old file must error with non-zero code")
+	}
+}

@@ -10,6 +10,11 @@
 //	dreambench
 //	dreambench -scale 2000 -parallel 8 -out .
 //	dreambench -fast-search
+//	dreambench -compare BENCH_old.json BENCH_new.json
+//
+// The -compare form runs no simulations: it diffs two BENCH files
+// sweep by sweep and exits non-zero when any shared sweep's cells/sec
+// regressed beyond -tolerance (default 10%) — the CI perf gate.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"dreamsim"
@@ -49,14 +55,30 @@ type report struct {
 
 func main() {
 	var (
-		scale    = flag.Int("scale", 1500, "largest task count in the benchmark grid")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", dreamsim.DefaultParallelism(), "worker count for the parallel sweep")
-		fast     = flag.Bool("fast-search", false, "also time the indexed resource-search path")
-		runs     = flag.Int("runs", 3, "timed repetitions per configuration (best run is reported)")
-		outDir   = flag.String("out", "", "directory for BENCH_<date>.json (default: print to stdout only)")
+		scale     = flag.Int("scale", 1500, "largest task count in the benchmark grid")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		parallel  = flag.Int("parallel", dreamsim.DefaultParallelism(), "worker count for the parallel sweep")
+		fast      = flag.Bool("fast-search", false, "also time the indexed resource-search path")
+		runs      = flag.Int("runs", 3, "timed repetitions per configuration (best run is reported)")
+		outDir    = flag.String("out", "", "directory for BENCH_<date>.json (default: print to stdout only)")
+		compare   = flag.Bool("compare", false, "compare two BENCH files: dreambench -compare old.json new.json (exit 1 on regression)")
+		tolerance = flag.Float64("tolerance", 0.10, "fractional cells/sec slowdown -compare tolerates per sweep")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dreambench: -compare needs exactly two BENCH files: old.json new.json")
+			os.Exit(2)
+		}
+		var out strings.Builder
+		code, err := runCompare(&out, flag.Arg(0), flag.Arg(1), *tolerance)
+		fmt.Print(out.String())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dreambench:", err)
+		}
+		os.Exit(code)
+	}
 
 	nodesGrid := []int{50, 100, 150}
 	tasksGrid := []int{*scale / 3, 2 * *scale / 3, *scale}

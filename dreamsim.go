@@ -165,6 +165,13 @@ type Params struct {
 	// workload accounting is a model output, so the fast path charges
 	// exactly the steps the metered linear walk would have charged.
 	FastSearch bool
+	// FastSearchCutoff is the node count at which FastSearch actually
+	// builds the index. Below it the per-search win cannot pay for the
+	// index's per-transition maintenance, so small populations keep
+	// the (identically metered) linear scans. Zero picks a measured
+	// default; 1 forces the index regardless of population size.
+	// Ignored unless FastSearch is set.
+	FastSearchCutoff int
 }
 
 // DefaultParams returns the paper's Table II parameter values with
@@ -262,10 +269,11 @@ func (p Params) coreParams() (core.Params, error) {
 			BitstreamBandwidth: p.BitstreamBandwidth,
 			DataBandwidth:      p.DataBandwidth,
 		},
-		TickStep:        p.TickStep,
-		FastSearch:      p.FastSearch,
-		MaxSusRetries:   p.MaxSusRetries,
-		DefragThreshold: p.DefragThreshold,
+		TickStep:         p.TickStep,
+		FastSearch:       p.FastSearch,
+		FastSearchCutoff: p.FastSearchCutoff,
+		MaxSusRetries:    p.MaxSusRetries,
+		DefragThreshold:  p.DefragThreshold,
 	}
 	script, err := fault.ParseScript(p.FaultScript)
 	if err != nil {
@@ -349,10 +357,20 @@ func (r Result) TimelineText() string { return r.timelineText }
 
 // Run executes one simulation.
 func Run(p Params) (Result, error) {
+	return runScratch(p, nil)
+}
+
+// runScratch is Run with an optional donated run context: the
+// experiment helpers give each of their workers one context for its
+// whole unit stream, so a sweep reallocates per-run state once per
+// worker instead of once per cell. Results are identical either way
+// (TestScratchReuseAcrossRuns pins this at the core layer).
+func runScratch(p Params, scratch *core.RunContext) (Result, error) {
 	cp, err := p.coreParams()
 	if err != nil {
 		return Result{}, err
 	}
+	cp.Scratch = scratch
 	var rec *monitor.Recorder
 	if p.SampleEvery > 0 {
 		rec = monitor.NewRecorder(p.SampleEvery)
@@ -421,11 +439,13 @@ func GenerateTrace(w io.Writer, p Params) error {
 // With Params.Parallelism > 1 the two scenarios run concurrently;
 // results are identical either way.
 func Compare(p Params) (full, partial Result, err error) {
-	res, err := exec.Map(context.Background(), workersFor(p.Parallelism, 2), 2,
-		func(_ context.Context, i int) (Result, error) {
+	workers := workersFor(p.Parallelism, 2)
+	scratch := newScratchPool(workers)
+	res, err := exec.MapWorkers(context.Background(), workers, 2,
+		func(_ context.Context, w, i int) (Result, error) {
 			q := p
 			q.PartialReconfig = i == 1
-			return Run(q)
+			return runScratch(q, scratch.get(w))
 		})
 	if err != nil {
 		return Result{}, Result{}, err

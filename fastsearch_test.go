@@ -26,6 +26,9 @@ func TestFastSearchEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				p.FastSearch = true
+				// Cutoff 1 forces the index even on the 50-node
+				// population, which sits below the adaptive default.
+				p.FastSearchCutoff = 1
 				fast, err := dreamsim.Run(p)
 				if err != nil {
 					t.Fatal(err)
@@ -48,6 +51,7 @@ func TestFastSearchMatrixEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	base.FastSearch = true
+	base.FastSearchCutoff = 1 // force the index below the adaptive default
 	fast, err := dreamsim.RunMatrix(base, []int{20, 40}, []int{100, 300}, nil)
 	if err != nil {
 		t.Fatal(err)

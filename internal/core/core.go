@@ -57,6 +57,12 @@ type Params struct {
 	// Results and all metered counters are identical to the linear
 	// mode; only wall time changes.
 	FastSearch bool
+	// FastSearchCutoff is the node count at which FastSearch actually
+	// builds the index; smaller populations keep the linear scans,
+	// which outrun the index's per-transition maintenance below the
+	// threshold. Zero means resinfo.DefaultFastSearchCutoff; 1 forces
+	// the index on any population. Ignored unless FastSearch is set.
+	FastSearchCutoff int
 	// Debug validates all structural invariants after every event;
 	// expensive, meant for tests.
 	Debug bool
@@ -92,6 +98,12 @@ type Params struct {
 	// Recorder, when set, samples system state (the monitoring
 	// module's time series) at every placement and completion.
 	Recorder *monitor.Recorder
+	// Scratch, when set, donates a reusable run context (event-queue
+	// pool, dense bookkeeping slices) so a stream of runs on one
+	// worker avoids reallocating per-run state. Results are identical
+	// with or without it. A context must not be shared by concurrent
+	// simulators.
+	Scratch *RunContext
 }
 
 // Validate reports the first incoherent parameter.
@@ -120,35 +132,34 @@ func (p *Params) Validate() error {
 // Simulator is one configured simulation run. Use New, then Run once.
 type Simulator struct {
 	params  Params
-	eng     sim.Engine
+	ctx     *RunContext // per-run scratch (owned or donated via Params.Scratch)
+	eng     *sim.Engine // ctx's engine
 	mgr     *resinfo.Manager
 	policy  sched.Policy
 	source  workload.Source
 	sus     *reslists.SusQueue
 	c       *metrics.Counters
-	used    map[int]bool
-	phases  map[string]int64
 	ran     bool
 	arrDone bool
+	depsOn  bool // precedence constraints active (Params.Deps non-empty)
 	err     error
 
-	// idleScratch is the reusable per-retry idle-config digest.
-	idleScratch []bool
-
-	// Dependency bookkeeping (task-graph workloads).
-	children   map[int][]int            // parent task no -> child task nos
-	terminal   map[int]model.TaskStatus // completed/discarded tasks by no
-	depBlocked map[int]*model.Task      // arrived tasks waiting on parents
+	// Pre-bound event handlers: allocated once per run so scheduling
+	// an event is allocation-free (payloads ride in the event's A/B
+	// slots instead of fresh closures).
+	hArrival    sim.Handler
+	hCompletion sim.Handler
+	hRetry      sim.Handler
+	hDrainCheck sim.Handler
 
 	// Fault-injection state, populated only when params.Faults is
 	// enabled; all nil/zero on fault-free runs.
 	inj              *fault.Injector
-	retry            fault.RetryPolicy          // normalized retry knobs
-	inflight         map[*model.Task]*sim.Event // running task -> completion event
-	downSince        []int64                    // crash tick per down node
-	armedFaults      int64                      // pending reconfiguration failures
-	retryPending     int64                      // displaced tasks awaiting re-dispatch
-	drainCheckQueued bool                       // a drain-check event is queued
+	retry            fault.RetryPolicy // normalized retry knobs
+	faultsOn         bool
+	armedFaults      int64 // pending reconfiguration failures
+	retryPending     int64 // displaced tasks awaiting re-dispatch
+	drainCheckQueued bool  // a drain-check event is queued
 }
 
 // New builds a simulator: it generates the resource population and
@@ -171,7 +182,11 @@ func New(params Params) (*Simulator, error) {
 	counters := &metrics.Counters{}
 	var mgrOpts []resinfo.Option
 	if params.FastSearch {
-		mgrOpts = append(mgrOpts, resinfo.WithFastSearch())
+		cutoff := params.FastSearchCutoff
+		if cutoff <= 0 {
+			cutoff = resinfo.DefaultFastSearchCutoff
+		}
+		mgrOpts = append(mgrOpts, resinfo.WithFastSearchCutoff(cutoff))
 	}
 	mgr, err := resinfo.New(nodes, configs, counters, mgrOpts...)
 	if err != nil {
@@ -195,20 +210,36 @@ func New(params Params) (*Simulator, error) {
 		policy = sched.New(opts)
 	}
 
+	ctx := params.Scratch
+	if ctx == nil {
+		ctx = NewRunContext()
+	}
+	depMax := -1
+	for child, parents := range params.Deps {
+		if child > depMax {
+			depMax = child
+		}
+		for _, p := range parents {
+			if p > depMax {
+				depMax = p
+			}
+		}
+	}
+	ctx.prepare(len(nodes), len(configs), depMax, params.Faults.Enabled())
+
 	s := &Simulator{
 		params: params,
+		ctx:    ctx,
+		eng:    &ctx.eng,
 		mgr:    mgr,
 		policy: policy,
 		source: source,
 		sus:    reslists.NewSusQueue(),
 		c:      counters,
-		used:   make(map[int]bool),
-		phases: make(map[string]int64),
 	}
+	s.bindHandlers()
 	if len(params.Deps) > 0 {
-		s.children = make(map[int][]int)
-		s.terminal = make(map[int]model.TaskStatus)
-		s.depBlocked = make(map[int]*model.Task)
+		s.depsOn = true
 		// Build the children lists in sorted child order: map iteration
 		// order would make releaseChildren's dispatch order — and with
 		// it every task-graph result — vary run to run.
@@ -219,7 +250,7 @@ func New(params Params) (*Simulator, error) {
 		sort.Ints(childNos)
 		for _, child := range childNos {
 			for _, p := range params.Deps[child] {
-				s.children[p] = append(s.children[p], child)
+				ctx.children[p] = append(ctx.children[p], child)
 			}
 		}
 	}
@@ -229,15 +260,41 @@ func New(params Params) (*Simulator, error) {
 		// stream, so fault-free runs draw exactly the same sequences as
 		// builds without the subsystem.
 		s.retry = params.Retry.WithDefaults()
-		s.inflight = make(map[*model.Task]*sim.Event)
-		s.downSince = make([]int64, len(nodes))
-		inj, err := fault.NewInjector(params.Faults, root.Split(), &s.eng, faultTarget{s})
+		s.faultsOn = true
+		inj, err := fault.NewInjector(params.Faults, root.Split(), s.eng, faultTarget{s})
 		if err != nil {
 			return nil, err
 		}
 		s.inj = inj
 	}
 	return s, nil
+}
+
+// bindHandlers builds the simulator's event callbacks once; every
+// scheduled event reuses them with its payload in the A/B slots, so
+// the event loop never allocates a closure.
+func (s *Simulator) bindHandlers() {
+	s.hArrival = func(ev *sim.Event, now int64) {
+		s.handleArrival(ev.A.(*model.Task), now)
+	}
+	s.hCompletion = func(ev *sim.Event, now int64) {
+		s.handleCompletion(ev.A.(*model.Task), ev.B.(*model.Node), now)
+	}
+	s.hRetry = func(ev *sim.Event, at int64) {
+		task := ev.A.(*model.Task)
+		s.retryPending--
+		if s.err != nil {
+			return
+		}
+		s.dispatch(task, s.policy.Decide(s.mgr, task), at)
+		s.maybeDrain(at)
+		s.debugCheck()
+	}
+	s.hDrainCheck = func(_ *sim.Event, now int64) {
+		s.drainCheckQueued = false
+		s.maybeDrain(now)
+		s.debugCheck()
+	}
 }
 
 // faultTarget adapts the simulator to the fault.Target callback
@@ -295,12 +352,12 @@ func (s *Simulator) Run() (*Result, error) {
 		return nil, fmt.Errorf("core: run ended with %d suspended, %d running, %d retrying tasks",
 			s.c.SuspendedTasks, s.c.RunningTasks, s.retryPending)
 	}
-	if len(s.depBlocked) != 0 {
+	if s.ctx.depBlockedCount != 0 {
 		return nil, fmt.Errorf("core: run ended with %d tasks still blocked on dependencies",
-			len(s.depBlocked))
+			s.ctx.depBlockedCount)
 	}
 	s.c.SimulationTime = s.eng.Now() // Eq. 5
-	s.c.UsedNodes = int64(len(s.used))
+	s.c.UsedNodes = int64(s.ctx.usedCount)
 	s.c.SusQueuePeak = int64(s.sus.Peak())
 
 	scenario := "full"
@@ -310,7 +367,7 @@ func (s *Simulator) Run() (*Result, error) {
 	return &Result{
 		Report:   metrics.Compute(s.c),
 		Counters: *s.c,
-		Phases:   s.phases,
+		Phases:   s.ctx.phasesMap(),
 		Policy:   s.policy.Name(),
 		Scenario: scenario,
 		Seed:     s.params.Seed,
@@ -335,9 +392,7 @@ func (s *Simulator) scheduleNextArrival() {
 			task.No, at, s.eng.Now()))
 		return
 	}
-	s.eng.ScheduleAt(at, "arrival", func(now int64) {
-		s.handleArrival(task, now)
-	})
+	s.eng.ScheduleEventAt(at, "arrival", s.hArrival, task, nil)
 }
 
 // handleArrival runs the scheduling algorithm for a newly arrived task.
@@ -349,14 +404,14 @@ func (s *Simulator) handleArrival(task *model.Task, now int64) {
 	s.emit("arrival", now, task)
 	s.scheduleNextArrival()
 
-	if s.depBlocked != nil {
+	if s.depsOn {
 		switch s.parentGate(task) {
 		case gateDiscard:
 			s.discard(task, now)
 			s.debugCheck()
 			return
 		case gateBlocked:
-			s.depBlocked[task.No] = task
+			s.ctx.setBlocked(task)
 			s.emit("hold", now, task)
 			s.debugCheck()
 			return
@@ -379,7 +434,7 @@ const (
 // parentGate checks whether task's parents allow it to run yet.
 func (s *Simulator) parentGate(task *model.Task) gateVerdict {
 	for _, p := range s.params.Deps[task.No] {
-		switch s.terminal[p] {
+		switch s.ctx.terminalOf(p) {
 		case model.TaskCompleted:
 			// satisfied
 		case model.TaskDiscarded, model.TaskLost:
@@ -393,17 +448,17 @@ func (s *Simulator) parentGate(task *model.Task) gateVerdict {
 
 // releaseChildren re-examines the dependants of a finished parent.
 func (s *Simulator) releaseChildren(parentNo int, now int64) {
-	for _, childNo := range s.children[parentNo] {
-		child, waiting := s.depBlocked[childNo]
-		if !waiting {
+	for _, childNo := range s.ctx.childrenOf(parentNo) {
+		child := s.ctx.blockedTask(childNo)
+		if child == nil {
 			continue // not yet arrived; its arrival will re-check
 		}
 		switch s.parentGate(child) {
 		case gateReady:
-			delete(s.depBlocked, childNo)
+			s.ctx.clearBlocked(childNo)
 			s.dispatch(child, s.policy.Decide(s.mgr, child), now)
 		case gateDiscard:
-			delete(s.depBlocked, childNo)
+			s.ctx.clearBlocked(childNo)
 			s.discard(child, now)
 		}
 	}
@@ -417,7 +472,7 @@ func (s *Simulator) dispatch(task *model.Task, d sched.Decision, now int64) {
 	case d.Action == sched.ActSuspend:
 		s.sus.Add(task)
 		s.c.SuspendedTasks = int64(s.sus.Len())
-		s.phases["suspend"]++
+		s.ctx.phases[phaseSuspend]++
 		s.emit("suspend", now, task)
 	default:
 		s.discard(task, now)
@@ -456,20 +511,19 @@ func (s *Simulator) place(task *model.Task, d sched.Decision, now int64) {
 	// just placed (see DESIGN.md "wasted-area accounting").
 	s.c.WastedArea += node.AvailableArea
 
-	s.used[node.No] = true
-	s.phases[d.Action.String()]++
+	s.ctx.markUsed(node.No)
+	s.ctx.phases[phase(d.Action)]++
 	if d.ClosestMatch {
-		s.phases["closest-match"]++
+		s.ctx.phases[phaseClosestMatch]++
 	}
 	s.c.RunningTasks++
 	s.c.SuspendedTasks = int64(s.sus.Len())
 	s.emit("place", now, task)
 
-	ev := s.eng.ScheduleAfter(commDelay+cfgDelay+task.RequiredTime, "completion", func(end int64) {
-		s.handleCompletion(task, node, end)
-	})
-	if s.inflight != nil {
-		s.inflight[task] = ev
+	ev := s.eng.ScheduleEventAfter(commDelay+cfgDelay+task.RequiredTime, "completion",
+		s.hCompletion, task, node)
+	if s.faultsOn {
+		s.ctx.setInflight(task.No, ev)
 	}
 }
 
@@ -482,7 +536,7 @@ func (s *Simulator) failReconfig(task *model.Task, d sched.Decision, now int64) 
 	s.armedFaults--
 	s.c.ReconfigFaults++
 	s.c.WastedConfigTime += s.params.Net.ConfigDelay(d.TargetNode(), d.Config)
-	s.phases["reconfig-fault"]++
+	s.ctx.phases[phaseReconfigFault]++
 	s.sus.Add(task)
 	s.c.SuspendedTasks = int64(s.sus.Len())
 	s.emit("reconfig-fault", now, task)
@@ -497,10 +551,10 @@ func (s *Simulator) failReconfig(task *model.Task, d sched.Decision, now int64) 
 func (s *Simulator) discard(task *model.Task, now int64) {
 	task.Status = model.TaskDiscarded
 	s.c.DiscardedTasks++
-	s.phases["discard"]++
+	s.ctx.phases[phaseDiscard]++
 	s.emit("discard", now, task)
-	if s.terminal != nil {
-		s.terminal[task.No] = model.TaskDiscarded
+	if s.depsOn {
+		s.ctx.setTerminal(task.No, model.TaskDiscarded)
 		s.releaseChildren(task.No, now)
 	}
 }
@@ -512,7 +566,9 @@ func (s *Simulator) handleCompletion(task *model.Task, node *model.Node, now int
 	if s.err != nil {
 		return
 	}
-	delete(s.inflight, task)
+	if s.faultsOn {
+		s.ctx.clearInflight(task.No)
+	}
 	if _, err := s.mgr.FinishTask(node, task); err != nil {
 		s.fail(fmt.Errorf("core: completing task %d: %w", task.No, err))
 		return
@@ -524,8 +580,8 @@ func (s *Simulator) handleCompletion(task *model.Task, node *model.Node, now int
 	s.c.TaskRunningTime += task.TurnaroundTime()
 	s.emit("complete", now, task)
 
-	if s.terminal != nil {
-		s.terminal[task.No] = model.TaskCompleted
+	if s.depsOn {
+		s.ctx.setTerminal(task.No, model.TaskCompleted)
 		s.releaseChildren(task.No, now)
 	}
 	s.retrySuspended(node, now)
@@ -560,11 +616,7 @@ func (s *Simulator) scheduleDrainCheck() {
 		return
 	}
 	s.drainCheckQueued = true
-	s.eng.ScheduleAfter(0, "drain-check", func(now int64) {
-		s.drainCheckQueued = false
-		s.maybeDrain(now)
-		s.debugCheck()
-	})
+	s.eng.ScheduleEventAfter(0, "drain-check", s.hDrainCheck, nil, nil)
 }
 
 // crashNode is the injector's crash callback: blank the node's
@@ -586,11 +638,11 @@ func (s *Simulator) crashNode(no int, now int64) {
 		return
 	}
 	s.c.NodeCrashes++
-	s.downSince[no] = now
+	s.ctx.downSince[no] = now
 	for _, task := range victims {
-		if ev := s.inflight[task]; ev != nil {
+		if ev := s.ctx.inflightOf(task.No); ev != nil {
 			s.eng.Queue.Remove(ev)
-			delete(s.inflight, task)
+			s.ctx.clearInflight(task.No)
 		}
 		s.c.RunningTasks--
 		s.requeue(task, now)
@@ -615,7 +667,7 @@ func (s *Simulator) recoverNode(no int, now int64) {
 			return
 		}
 		s.c.NodeRecoveries++
-		s.c.DowntimeTicks += now - s.downSince[no]
+		s.c.DowntimeTicks += now - s.ctx.downSince[no]
 		s.retrySuspended(node, now)
 	}
 	s.maybeDrain(now)
@@ -636,15 +688,7 @@ func (s *Simulator) requeue(task *model.Task, now int64) {
 	s.c.TasksRetried++
 	s.retryPending++
 	s.emit("retry", now, task)
-	s.eng.ScheduleAfter(s.retry.Backoff(task.Retries), "retry", func(at int64) {
-		s.retryPending--
-		if s.err != nil {
-			return
-		}
-		s.dispatch(task, s.policy.Decide(s.mgr, task), at)
-		s.maybeDrain(at)
-		s.debugCheck()
-	})
+	s.eng.ScheduleEventAfter(s.retry.Backoff(task.Retries), "retry", s.hRetry, task, nil)
 }
 
 // lose drops a task that exhausted its retry budget. Like a discard
@@ -654,10 +698,10 @@ func (s *Simulator) requeue(task *model.Task, now int64) {
 func (s *Simulator) lose(task *model.Task, now int64) {
 	task.Status = model.TaskLost
 	s.c.LostTasks++
-	s.phases["lost"]++
+	s.ctx.phases[phaseLost]++
 	s.emit("lost", now, task)
-	if s.terminal != nil {
-		s.terminal[task.No] = model.TaskLost
+	if s.depsOn {
+		s.ctx.setTerminal(task.No, model.TaskLost)
 		s.releaseChildren(task.No, now)
 	}
 }
@@ -674,16 +718,14 @@ type nodeSummary struct {
 	reclaim model.Area
 }
 
-// summarize digests node; the entry walk is housekeeping work.
+// summarize digests node; the entry walk is housekeeping work. The
+// idle digest lives in the run context with an explicit grow-and-clear
+// so a donated context whose previous run had a different
+// configuration count can never leak stale bits (the old lazy sizing
+// allocated once and never re-validated).
 func (s *Simulator) summarize(node *model.Node) nodeSummary {
-	if s.idleScratch == nil {
-		s.idleScratch = make([]bool, len(s.mgr.Configs()))
-	} else {
-		for i := range s.idleScratch {
-			s.idleScratch[i] = false
-		}
-	}
-	sum := nodeSummary{idle: s.idleScratch}
+	s.ctx.idle = growClear(s.ctx.idle, len(s.mgr.Configs()))
+	sum := nodeSummary{idle: s.ctx.idle}
 	var steps uint64
 	busy := false
 	for _, e := range node.Entries {
@@ -817,7 +859,7 @@ func (s *Simulator) maybeDefrag(node *model.Node) {
 	if err := s.mgr.BlankNode(node); err != nil {
 		s.fail(fmt.Errorf("core: defragmenting node %d: %w", node.No, err))
 	}
-	s.phases["defrag"]++
+	s.ctx.phases[phaseDefrag]++
 }
 
 // emit publishes a lifecycle event to the observer and feeds the
@@ -845,11 +887,11 @@ func (s *Simulator) debugCheck() {
 	if invariant.Enabled && s.err == nil {
 		settled := s.c.CompletedTasks + s.c.DiscardedTasks + s.c.LostTasks +
 			s.c.RunningTasks + s.retryPending +
-			int64(s.sus.Len()) + int64(len(s.depBlocked))
+			int64(s.sus.Len()) + int64(s.ctx.depBlockedCount)
 		invariant.Assertf(settled == s.c.GeneratedTasks,
 			"core: task conservation broken: generated %d != completed %d + discarded %d + lost %d + running %d + retrying %d + suspended %d + dep-blocked %d",
 			s.c.GeneratedTasks, s.c.CompletedTasks, s.c.DiscardedTasks, s.c.LostTasks,
-			s.c.RunningTasks, s.retryPending, s.sus.Len(), len(s.depBlocked))
+			s.c.RunningTasks, s.retryPending, s.sus.Len(), s.ctx.depBlockedCount)
 	}
 	if !s.params.Debug || s.err != nil {
 		return

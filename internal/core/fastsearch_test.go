@@ -40,6 +40,10 @@ func TestFastSearchCounterEquivalence(t *testing.T) {
 			lin.FastSearch = false
 			fast := base
 			fast.FastSearch = true
+			// Force the index live: the 40-node population sits below
+			// the adaptive cutoff, and a fallen-back fast path would
+			// make this equivalence check vacuous.
+			fast.FastSearchCutoff = 1
 
 			lres := mustRun(t, lin)
 			fres := mustRun(t, fast)

@@ -26,6 +26,18 @@ import (
 // occurrence cancels the context passed to still-unclaimed units.
 // A cancelled parent context is returned as-is.
 func Do(ctx context.Context, workers, n int, unit func(ctx context.Context, i int) error) error {
+	return DoWorkers(ctx, workers, n, func(ctx context.Context, _, i int) error {
+		return unit(ctx, i)
+	})
+}
+
+// DoWorkers is Do with the identity of the claiming worker passed to
+// each unit: w is stable for one goroutine's whole unit stream and no
+// two concurrent units ever share it, so a caller can hand each
+// worker exclusive reusable state — a run context, a scratch arena —
+// indexed by w, without locking. Sequential execution (workers <= 1)
+// claims everything as worker 0.
+func DoWorkers(ctx context.Context, workers, n int, unit func(ctx context.Context, w, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -37,7 +49,7 @@ func Do(ctx context.Context, workers, n int, unit func(ctx context.Context, i in
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := unit(ctx, i); err != nil {
+			if err := unit(ctx, 0, i); err != nil {
 				return err
 			}
 		}
@@ -51,20 +63,20 @@ func Do(ctx context.Context, workers, n int, unit func(ctx context.Context, i in
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || wctx.Err() != nil {
 					return
 				}
-				if err := unit(wctx, i); err != nil {
+				if err := unit(wctx, w, i); err != nil {
 					errs[i] = err
 					cancel()
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	// Report the lowest-index failure so the error a caller sees does
@@ -81,9 +93,16 @@ func Do(ctx context.Context, workers, n int, unit func(ctx context.Context, i in
 // and assembles the results in index order. On error the partial
 // results are discarded.
 func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWorkers(ctx, workers, n, func(ctx context.Context, _, i int) (T, error) {
+		return fn(ctx, i)
+	})
+}
+
+// MapWorkers is Map with DoWorkers' worker identity passed to fn.
+func MapWorkers[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, w, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := Do(ctx, workers, n, func(ctx context.Context, i int) error {
-		v, err := fn(ctx, i)
+	err := DoWorkers(ctx, workers, n, func(ctx context.Context, w, i int) error {
+		v, err := fn(ctx, w, i)
 		if err != nil {
 			return err
 		}

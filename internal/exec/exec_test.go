@@ -121,3 +121,63 @@ func TestMapDiscardsResultsOnError(t *testing.T) {
 		t.Fatalf("got (%v, %v), want (nil, error)", out, err)
 	}
 }
+
+// TestDoWorkersExclusiveIdentity pins the contract DoWorkers adds
+// over Do: a worker index is never held by two units at once, so
+// per-worker scratch state needs no locking.
+func TestDoWorkersExclusiveIdentity(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 200
+			busy := make([]atomic.Bool, workers)
+			var ran atomic.Int64
+			err := exec.DoWorkers(context.Background(), workers, n,
+				func(_ context.Context, w, i int) error {
+					if w < 0 || w >= workers {
+						return fmt.Errorf("worker index %d out of range", w)
+					}
+					if !busy[w].CompareAndSwap(false, true) {
+						return fmt.Errorf("worker %d ran two units concurrently", w)
+					}
+					ran.Add(1)
+					busy[w].Store(false)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ran.Load(); got != n {
+				t.Fatalf("ran %d of %d units", got, n)
+			}
+		})
+	}
+}
+
+// TestDoWorkersSequentialIsWorkerZero: the workers <= 1 fast path
+// claims every unit as worker 0.
+func TestDoWorkersSequentialIsWorkerZero(t *testing.T) {
+	err := exec.DoWorkers(context.Background(), 1, 10, func(_ context.Context, w, _ int) error {
+		if w != 0 {
+			return fmt.Errorf("sequential run saw worker %d", w)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapWorkersAssemblesInOrder mirrors TestMapAssemblesInOrder for
+// the worker-identity variant.
+func TestMapWorkersAssemblesInOrder(t *testing.T) {
+	out, err := exec.MapWorkers(context.Background(), 4, 50,
+		func(_ context.Context, _, i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d holds %d", i, v)
+		}
+	}
+}

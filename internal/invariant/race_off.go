@@ -1,0 +1,8 @@
+//go:build !race
+
+package invariant
+
+// RaceEnabled reports whether the binary was built with the race
+// detector, whose instrumentation adds allocations that would fail
+// the zero-allocs/op gates.
+const RaceEnabled = false

@@ -164,6 +164,14 @@ func (n *Node) FindEntryWithConfig(cfgNo int) *Entry {
 // full mode the node must be blank first; the node must offer every
 // capability the configuration requires.
 func (n *Node) SendBitstream(cfg *Config) (*Entry, error) {
+	return n.SendBitstreamReusing(cfg, nil)
+}
+
+// SendBitstreamReusing is SendBitstream drawing the new region's
+// Entry from spare when non-nil (the resource manager's entry pool).
+// spare must be unlinked from every node and list; it is overwritten
+// wholesale.
+func (n *Node) SendBitstreamReusing(cfg *Config, spare *Entry) (*Entry, error) {
 	if n.Down {
 		return nil, fmt.Errorf("%w: node %d", ErrNodeDown, n.No)
 	}
@@ -178,7 +186,11 @@ func (n *Node) SendBitstream(cfg *Config) (*Entry, error) {
 		return nil, fmt.Errorf("%w: node %d has %d free, config %d needs %d",
 			ErrInsufficientArea, n.No, n.AvailableArea, cfg.No, cfg.ReqArea)
 	}
-	e := &Entry{Config: cfg, Node: n}
+	e := spare
+	if e == nil {
+		e = new(Entry)
+	}
+	*e = Entry{Config: cfg, Node: n}
 	n.Entries = append(n.Entries, e)
 	n.AvailableArea -= cfg.ReqArea
 	n.ReconfigCount++

@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"strings"
+	"strconv"
 
 	"dreamsim/internal/metrics"
 )
@@ -68,18 +68,24 @@ func New(scenario, policy string, seed uint64, params map[string]string,
 // MetricRows flattens a metrics.Report into named rows in Table I
 // order.
 func MetricRows(r metrics.Report) []Metric {
-	return []Metric{
-		{"avg_wasted_area_per_task", r.AvgWastedAreaPerTask},
-		{"avg_running_time_per_task", r.AvgRunningTimePerTask},
-		{"avg_reconfig_count_per_node", r.AvgReconfigCountPerNode},
-		{"avg_reconfig_time_per_task", r.AvgReconfigTimePerTask},
-		{"avg_waiting_time_per_task", r.AvgWaitingTimePerTask},
-		{"avg_scheduling_steps_per_task", r.AvgSchedulingStepsPerTask},
-		{"total_discarded_tasks", float64(r.TotalDiscardedTasks)},
-		{"total_scheduler_workload", float64(r.TotalSchedulerWorkload)},
-		{"total_used_nodes", float64(r.TotalUsedNodes)},
-		{"total_simulation_time", float64(r.TotalSimulationTime)},
-	}
+	return appendMetricRows(make([]Metric, 0, 10), r)
+}
+
+// appendMetricRows is MetricRows into a caller-owned slice, so a
+// reused scratch renders without allocating the row set.
+func appendMetricRows(dst []Metric, r metrics.Report) []Metric {
+	return append(dst,
+		Metric{"avg_wasted_area_per_task", r.AvgWastedAreaPerTask},
+		Metric{"avg_running_time_per_task", r.AvgRunningTimePerTask},
+		Metric{"avg_reconfig_count_per_node", r.AvgReconfigCountPerNode},
+		Metric{"avg_reconfig_time_per_task", r.AvgReconfigTimePerTask},
+		Metric{"avg_waiting_time_per_task", r.AvgWaitingTimePerTask},
+		Metric{"avg_scheduling_steps_per_task", r.AvgSchedulingStepsPerTask},
+		Metric{"total_discarded_tasks", float64(r.TotalDiscardedTasks)},
+		Metric{"total_scheduler_workload", float64(r.TotalSchedulerWorkload)},
+		Metric{"total_used_nodes", float64(r.TotalUsedNodes)},
+		Metric{"total_simulation_time", float64(r.TotalSimulationTime)},
+	)
 }
 
 // FaultMetricRows flattens the fault-injection outcomes into named
@@ -87,15 +93,20 @@ func MetricRows(r metrics.Report) []Metric {
 // r.HasFaults(), which keeps fault-free reports byte-identical to
 // those of builds without the fault subsystem.
 func FaultMetricRows(r metrics.Report) []Metric {
-	return []Metric{
-		{"node_crashes", float64(r.NodeCrashes)},
-		{"node_recoveries", float64(r.NodeRecoveries)},
-		{"avg_downtime_per_node", r.AvgDowntimePerNode},
-		{"tasks_retried", float64(r.TasksRetried)},
-		{"tasks_lost", float64(r.TasksLost)},
-		{"reconfig_faults", float64(r.ReconfigFaults)},
-		{"wasted_config_ticks", float64(r.WastedConfigTicks)},
-	}
+	return appendFaultMetricRows(make([]Metric, 0, 7), r)
+}
+
+// appendFaultMetricRows is FaultMetricRows into a caller-owned slice.
+func appendFaultMetricRows(dst []Metric, r metrics.Report) []Metric {
+	return append(dst,
+		Metric{"node_crashes", float64(r.NodeCrashes)},
+		Metric{"node_recoveries", float64(r.NodeRecoveries)},
+		Metric{"avg_downtime_per_node", r.AvgDowntimePerNode},
+		Metric{"tasks_retried", float64(r.TasksRetried)},
+		Metric{"tasks_lost", float64(r.TasksLost)},
+		Metric{"reconfig_faults", float64(r.ReconfigFaults)},
+		Metric{"wasted_config_ticks", float64(r.WastedConfigTicks)},
+	)
 }
 
 // WriteXML serialises the report with indentation and an XML header.
@@ -123,48 +134,140 @@ func ReadXML(r io.Reader) (Simulation, error) {
 
 // TableIText renders the Table I metrics as a fixed-width text table.
 func TableIText(r metrics.Report) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%-34s %18s\n", "performance metric", "value")
-	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 53))
-	rows := MetricRows(r)
-	if r.HasFaults() {
-		rows = append(rows, FaultMetricRows(r)...)
-	}
-	for _, m := range rows {
-		fmt.Fprintf(&b, "%-34s %18s\n", m.Name, compact(m.Value))
-	}
-	return b.String()
+	return string(AppendTableI(nil, r))
 }
 
 // CompareText renders two scenario reports side by side (the paper's
 // with/without-partial comparisons).
 func CompareText(nameA string, a metrics.Report, nameB string, b metrics.Report) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-34s %18s %18s\n", "performance metric", nameA, nameB)
-	fmt.Fprintf(&sb, "%s\n", strings.Repeat("-", 72))
-	rowsA, rowsB := MetricRows(a), MetricRows(b)
-	if a.HasFaults() || b.HasFaults() {
-		rowsA = append(rowsA, FaultMetricRows(a)...)
-		rowsB = append(rowsB, FaultMetricRows(b)...)
+	return string(AppendCompare(nil, nameA, a, nameB, b))
+}
+
+// A Renderer amortises text rendering across calls: one reusable byte
+// buffer and row slice serve every table it produces, so rendering a
+// stream of reports (a sweep's per-cell tables, a comparison per
+// seed) allocates only the returned strings. The zero value is ready;
+// a Renderer must not be shared by concurrent goroutines.
+type Renderer struct {
+	buf []byte
+}
+
+// TableIText is the free function of the same name on the reused
+// buffer; output is byte-identical.
+func (rd *Renderer) TableIText(r metrics.Report) string {
+	rd.buf = AppendTableI(rd.buf[:0], r)
+	return string(rd.buf)
+}
+
+// CompareText is the free function of the same name on the reused
+// buffer; output is byte-identical.
+func (rd *Renderer) CompareText(nameA string, a metrics.Report, nameB string, b metrics.Report) string {
+	rd.buf = AppendCompare(rd.buf[:0], nameA, a, nameB, b)
+	return string(rd.buf)
+}
+
+// dashes backs the separator rows (the longest is CompareText's 72).
+const dashes = "------------------------------------------------------------------------"
+
+// AppendTableI appends TableIText's output to dst and returns the
+// extended buffer — the allocation-free core of the text rendering.
+func AppendTableI(dst []byte, r metrics.Report) []byte {
+	dst = appendCell(dst, "performance metric", -34)
+	dst = appendCell(dst, "value", 18)
+	dst = append(dst, '\n')
+	dst = append(dst, dashes[:53]...)
+	dst = append(dst, '\n')
+	var scratch [17]Metric
+	for _, m := range appendRowsForced(scratch[:0], r, r.HasFaults()) {
+		dst = appendCell(dst, m.Name, -34)
+		dst = appendCompactCell(dst, m.Value)
+		dst = append(dst, '\n')
 	}
+	return dst
+}
+
+// AppendCompare appends CompareText's output to dst and returns the
+// extended buffer.
+func AppendCompare(dst []byte, nameA string, a metrics.Report, nameB string, b metrics.Report) []byte {
+	dst = appendCell(dst, "performance metric", -34)
+	dst = appendCell(dst, nameA, 18)
+	dst = appendCell(dst, nameB, 18)
+	dst = append(dst, '\n')
+	dst = append(dst, dashes[:72]...)
+	dst = append(dst, '\n')
+	var sa, sb [17]Metric
+	rowsA := appendRowsForced(sa[:0], a, a.HasFaults() || b.HasFaults())
+	rowsB := appendRowsForced(sb[:0], b, a.HasFaults() || b.HasFaults())
 	for i := range rowsA {
-		fmt.Fprintf(&sb, "%-34s %18s %18s\n", rowsA[i].Name,
-			compact(rowsA[i].Value), compact(rowsB[i].Value))
+		dst = appendCell(dst, rowsA[i].Name, -34)
+		dst = appendCompactCell(dst, rowsA[i].Value)
+		dst = appendCompactCell(dst, rowsB[i].Value)
+		dst = append(dst, '\n')
 	}
-	return sb.String()
+	return dst
+}
+
+// appendRowsForced collects the Table I rows (fault rows appended
+// when faults is true) into dst without allocating a fresh slice per
+// render.
+func appendRowsForced(dst []Metric, r metrics.Report, faults bool) []Metric {
+	dst = appendMetricRows(dst, r)
+	if faults {
+		dst = appendFaultMetricRows(dst, r)
+	}
+	return dst
+}
+
+// appendCell appends s padded to the fmt "%Ns" convention: positive
+// width right-justifies, negative left-justifies, and a leading space
+// separates it from the previous cell exactly where the old format
+// strings ("%-34s %18s...") put one.
+func appendCell(dst []byte, s string, width int) []byte {
+	if width > 0 {
+		dst = append(dst, ' ') // the separator the format string had
+		for i := len(s); i < width; i++ {
+			dst = append(dst, ' ')
+		}
+		return append(dst, s...)
+	}
+	dst = append(dst, s...)
+	for i := len(s); i < -width; i++ {
+		dst = append(dst, ' ')
+	}
+	return dst
+}
+
+// appendCompactCell renders compact(v) right-justified to 18 columns
+// without going through a string.
+func appendCompactCell(dst []byte, v float64) []byte {
+	var scratch [32]byte
+	num := appendCompact(scratch[:0], v)
+	dst = append(dst, ' ')
+	for i := len(num); i < 18; i++ {
+		dst = append(dst, ' ')
+	}
+	return append(dst, num...)
 }
 
 // compact formats a value without trailing decimal noise; values of
 // a million and beyond render in scientific notation like the paper's
 // figure axes.
 func compact(v float64) string {
+	var scratch [32]byte
+	return string(appendCompact(scratch[:0], v))
+}
+
+// appendCompact is compact into a caller-owned buffer. strconv's
+// 'g'/'f' verbs produce exactly what fmt's %.4g/%.2f did — fmt
+// delegates float formatting to strconv with the same precision.
+func appendCompact(dst []byte, v float64) []byte {
 	if v >= 1e6 {
-		return fmt.Sprintf("%.4g", v)
+		return strconv.AppendFloat(dst, v, 'g', 4, 64)
 	}
 	if v == float64(int64(v)) {
-		return fmt.Sprintf("%d", int64(v))
+		return strconv.AppendInt(dst, int64(v), 10)
 	}
-	return fmt.Sprintf("%.2f", v)
+	return strconv.AppendFloat(dst, v, 'f', 2, 64)
 }
 
 func sortedKeys(m map[string]string) []string {

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -112,4 +113,88 @@ func TestCompact(t *testing.T) {
 			t.Errorf("compact(%v) = %q, want %q", in, got, want)
 		}
 	}
+}
+
+// faultSample is sample() with fault outcomes, so the fault rows
+// render too.
+func faultSample() metrics.Report {
+	r := sample()
+	r.NodeCrashes = 4
+	r.NodeRecoveries = 3
+	r.AvgDowntimePerNode = 12.5
+	r.TasksRetried = 9
+	r.TasksLost = 1
+	r.ReconfigFaults = 2
+	r.WastedConfigTicks = 37
+	return r
+}
+
+// TestRendererMatchesFreeFunctions pins the buffer-reuse contract: a
+// Renderer recycled across reports of different shapes produces the
+// exact bytes of the one-shot functions every time.
+func TestRendererMatchesFreeFunctions(t *testing.T) {
+	var rd Renderer
+	reports := []metrics.Report{sample(), faultSample(), {}, sample()}
+	for i, r := range reports {
+		if got, want := rd.TableIText(r), TableIText(r); got != want {
+			t.Fatalf("report %d: renderer TableIText diverged:\n%q\n!=\n%q", i, got, want)
+		}
+	}
+	for i, r := range reports {
+		other := reports[(i+1)%len(reports)]
+		got := rd.CompareText("full", r, "partial", other)
+		want := CompareText("full", r, "partial", other)
+		if got != want {
+			t.Fatalf("report %d: renderer CompareText diverged:\n%q\n!=\n%q", i, got, want)
+		}
+	}
+}
+
+// TestCompactAgainstFmt pins appendCompact to the fmt verbs the old
+// string-building renderer used.
+func TestCompactAgainstFmt(t *testing.T) {
+	values := []float64{0, 1, -1, 3, 123.5, 9999.75, 1e6 - 1, 1e6, 123456789,
+		7654321, 2500, 0.004, -17.25, 1e12, 987654.321}
+	for _, v := range values {
+		var want string
+		switch {
+		case v >= 1e6:
+			want = fmt.Sprintf("%.4g", v)
+		case v == float64(int64(v)):
+			want = fmt.Sprintf("%d", int64(v))
+		default:
+			want = fmt.Sprintf("%.2f", v)
+		}
+		if got := compact(v); got != want {
+			t.Errorf("compact(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// BenchmarkReport measures the reused-buffer rendering core; the
+// Append forms must report 0 allocs/op (the Renderer forms add only
+// the returned string).
+func BenchmarkReport(b *testing.B) {
+	r := faultSample()
+	b.Run("append-table", func(b *testing.B) {
+		buf := make([]byte, 0, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendTableI(buf[:0], r)
+		}
+	})
+	b.Run("append-compare", func(b *testing.B) {
+		buf := make([]byte, 0, 2048)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = AppendCompare(buf[:0], "full", r, "partial", r)
+		}
+	})
+	b.Run("renderer-table", func(b *testing.B) {
+		var rd Renderer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = rd.TableIText(r)
+		}
+	})
 }

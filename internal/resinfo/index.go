@@ -88,14 +88,38 @@ func rotLeft(n *tnode) *tnode {
 	return r
 }
 
-// treap is an ordered set of (area, pos) keys. The zero value is an
-// empty set.
+// tpool recycles tnode structs across insert/remove cycles: every
+// node state transition updates up to three treaps, so an unpooled
+// index allocates on the simulation's hottest path.
+type tpool struct {
+	free []*tnode
+}
+
+func (p *tpool) get(area int64, pos int) *tnode {
+	if n := len(p.free) - 1; n >= 0 {
+		x := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		*x = tnode{area: area, pos: pos, prio: prioFor(pos), minPos: pos}
+		return x
+	}
+	return &tnode{area: area, pos: pos, prio: prioFor(pos), minPos: pos}
+}
+
+func (p *tpool) put(x *tnode) {
+	x.left, x.right = nil, nil
+	p.free = append(p.free, x)
+}
+
+// treap is an ordered set of (area, pos) keys drawing its nodes from
+// a shared pool.
 type treap struct {
 	root *tnode
+	pool *tpool
 }
 
 func (t *treap) insert(area int64, pos int) {
-	t.root = tInsert(t.root, &tnode{area: area, pos: pos, prio: prioFor(pos), minPos: pos})
+	t.root = tInsert(t.root, t.pool.get(area, pos))
 }
 
 func tInsert(n, x *tnode) *tnode {
@@ -118,26 +142,30 @@ func tInsert(n, x *tnode) *tnode {
 }
 
 func (t *treap) remove(area int64, pos int) bool {
-	var ok bool
-	t.root, ok = tRemove(t.root, area, pos)
-	return ok
+	root, rm := tRemove(t.root, area, pos)
+	t.root = root
+	if rm == nil {
+		return false
+	}
+	t.pool.put(rm)
+	return true
 }
 
-func tRemove(n *tnode, area int64, pos int) (*tnode, bool) {
+func tRemove(n *tnode, area int64, pos int) (root, removed *tnode) {
 	if n == nil {
-		return nil, false
+		return nil, nil
 	}
 	if area == n.area && pos == n.pos {
-		return tMerge(n.left, n.right), true
+		return tMerge(n.left, n.right), n
 	}
-	var ok bool
+	var rm *tnode
 	if tLess(area, pos, n.area, n.pos) {
-		n.left, ok = tRemove(n.left, area, pos)
+		n.left, rm = tRemove(n.left, area, pos)
 	} else {
-		n.right, ok = tRemove(n.right, area, pos)
+		n.right, rm = tRemove(n.right, area, pos)
 	}
 	n.pull()
-	return n, ok
+	return n, rm
 }
 
 func tMerge(a, b *tnode) *tnode {
@@ -223,13 +251,15 @@ type maskBucket struct {
 }
 
 // idxState caches a node's index membership so transitions diff
-// against it instead of searching the treaps.
+// against it instead of searching the treaps. The bucket pointer is
+// cached too, sparing sync a map lookup per transition.
 type idxState struct {
-	mask  uint64
-	blank bool
-	part  bool
-	busy  bool
-	pArea int64 // AvailableArea key the node sits under in `part`
+	mask   uint64
+	bucket *maskBucket
+	blank  bool
+	part   bool
+	busy   bool
+	pArea  int64 // AvailableArea key the node sits under in `part`
 }
 
 // nodeIndex is the whole accelerator: capability buckets plus the
@@ -241,6 +271,7 @@ type nodeIndex struct {
 	buckets map[uint64]*maskBucket
 	state   []idxState
 	pos     map[*model.Node]int
+	pool    tpool // shared tnode recycler for every bucket's treaps
 }
 
 // newNodeIndex builds the index over the node population. It reports
@@ -269,12 +300,15 @@ func newNodeIndex(nodes []*model.Node, configs []*model.Config) (*nodeIndex, boo
 	}
 	for i, n := range nodes {
 		mask, _ := model.CapMaskOf(bits, n.Caps) // all names registered above
-		if _, seen := ix.buckets[mask]; !seen {
-			ix.buckets[mask] = &maskBucket{}
+		b, seen := ix.buckets[mask]
+		if !seen {
+			b = &maskBucket{}
+			b.blank.pool, b.part.pool, b.busy.pool = &ix.pool, &ix.pool, &ix.pool
+			ix.buckets[mask] = b
 			ix.masks = append(ix.masks, mask)
 		}
 		ix.pos[n] = i
-		ix.state[i] = idxState{mask: mask}
+		ix.state[i] = idxState{mask: mask, bucket: b}
 		ix.sync(i, n)
 	}
 	return ix, true
@@ -284,7 +318,7 @@ func newNodeIndex(nodes []*model.Node, configs []*model.Config) (*nodeIndex, boo
 // after a transition; O(log n).
 func (ix *nodeIndex) sync(pos int, n *model.Node) {
 	st := &ix.state[pos]
-	b := ix.buckets[st.mask]
+	b := st.bucket
 	// A down node belongs to no search category: it is structurally
 	// blank (its entries died with it) but must never be returned by
 	// BestBlankNode until it recovers.

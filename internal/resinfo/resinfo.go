@@ -28,10 +28,19 @@ type Manager struct {
 	downCount int // nodes currently failed (CrashNode minus RecoverNode)
 
 	// Fast-search state (nil/empty when the linear paper paths run).
-	wantFast  bool
-	idx       *nodeIndex
-	cfgPos    map[int]int     // config No -> position in the list
-	cfgByArea []*model.Config // configs ordered by (ReqArea, position)
+	wantFast   bool
+	fastCutoff int // minimum node count for the index to pay off
+	idx        *nodeIndex
+	cfgPos     map[int]int     // config No -> position in the list
+	cfgByArea  []*model.Config // configs ordered by (ReqArea, position)
+
+	// evict is FindAnyIdleNode's reusable victim buffer; the returned
+	// slice is valid until the next placement search.
+	evict []*model.Entry
+	// entryFree pools the Entry structs of evicted regions for reuse
+	// by Configure, so steady-state reconfiguration cycles allocate
+	// nothing.
+	entryFree []*model.Entry
 }
 
 // Option customises a Manager at construction time.
@@ -46,7 +55,26 @@ type Option func(*Manager)
 // capability name space exceeds 64 distinct names fall back to the
 // linear path silently; FastSearch reports whether the index is live.
 func WithFastSearch() Option {
-	return func(m *Manager) { m.wantFast = true }
+	return func(m *Manager) { m.wantFast = true; m.fastCutoff = 0 }
+}
+
+// DefaultFastSearchCutoff is the node count below which the metered
+// linear scans beat the index: under it every search touches so few
+// nodes that treap maintenance on each state transition costs more
+// than the walks it saves. Query-only microbenchmarks
+// (BenchmarkSearchCrossover) favour the index much earlier, but
+// end-to-end simulation — where every StartTask/FinishTask/Configure
+// moves treap nodes between buckets — puts the crossover between 250
+// and 300 nodes at the paper's Table II workload shape; see DESIGN.md
+// "Performance & allocation discipline".
+const DefaultFastSearchCutoff = 256
+
+// WithFastSearchCutoff is WithFastSearch with an adaptive threshold:
+// the index is built only for populations of at least cutoff nodes,
+// smaller ones keep the linear paths. Results and metering are
+// identical either way — the cutoff trades wall time only.
+func WithFastSearchCutoff(cutoff int) Option {
+	return func(m *Manager) { m.wantFast = true; m.fastCutoff = cutoff }
 }
 
 // New builds a manager over the given resources. Config numbers must
@@ -74,7 +102,7 @@ func New(nodes []*model.Node, configs []*model.Config, counters *metrics.Counter
 	}
 	counters.TotalNodes = len(nodes)
 	counters.TotalConfigs = len(configs)
-	if m.wantFast {
+	if m.wantFast && len(nodes) >= m.fastCutoff {
 		if idx, ok := newNodeIndex(nodes, configs); ok {
 			m.idx = idx
 			m.cfgPos = make(map[int]int, len(configs))
@@ -213,8 +241,17 @@ func (m *Manager) FindClosestConfig(neededArea model.Area) *model.Config {
 // the new idle region is linked into cfg's idle list and the
 // reconfiguration counters and Eq. 10 configuration time accumulate.
 func (m *Manager) Configure(node *model.Node, cfg *model.Config) (*model.Entry, error) {
-	e, err := node.SendBitstream(cfg)
+	var spare *model.Entry
+	if n := len(m.entryFree) - 1; n >= 0 {
+		spare = m.entryFree[n]
+		m.entryFree[n] = nil
+		m.entryFree = m.entryFree[:n]
+	}
+	e, err := node.SendBitstreamReusing(cfg, spare)
 	if err != nil {
+		if spare != nil {
+			m.entryFree = append(m.entryFree, spare)
+		}
 		return nil, err
 	}
 	m.Pair(cfg.No).Idle.Add(e)
@@ -233,9 +270,20 @@ func (m *Manager) EvictIdle(node *model.Node, victims []*model.Entry) error {
 	}
 	for _, v := range victims {
 		m.housekeep(m.Pair(v.Config.No).Drop(v))
+		m.recycleEntry(v)
 	}
 	m.reindex(node)
 	return nil
+}
+
+// recycleEntry zeroes an unlinked region's Entry and pools it for the
+// next Configure. Callers must guarantee no live reference remains —
+// evicted, blanked and crashed regions qualify because the node, the
+// idle/busy lists and the scheduler have all dropped them by the time
+// they reach the pool.
+func (m *Manager) recycleEntry(e *model.Entry) {
+	*e = model.Entry{}
+	m.entryFree = append(m.entryFree, e)
 }
 
 // BlankNode strips every configuration from node (paper
@@ -247,6 +295,7 @@ func (m *Manager) BlankNode(node *model.Node) error {
 	}
 	for _, v := range removed {
 		m.housekeep(m.Pair(v.Config.No).Drop(v))
+		m.recycleEntry(v)
 	}
 	m.reindex(node)
 	return nil
@@ -264,6 +313,12 @@ func (m *Manager) CrashNode(node *model.Node) ([]*model.Task, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Crash-removed entries are deliberately NOT recycled: a crash can
+	// strike between a scheduling decision and its application, and the
+	// stale decision's Entry pointer must still read as the dead region
+	// (so Apply fails with the down-node guard) rather than as a
+	// recycled live one. Crashes are fault-path events, outside the
+	// zero-allocation contract.
 	for _, v := range removed {
 		m.housekeep(m.Pair(v.Config.No).Drop(v))
 	}
@@ -380,28 +435,35 @@ func (m *Manager) BestPartiallyBlankNode(cfg *model.Config) *model.Node {
 // reaches reqArea is returned together with the idle regions to evict.
 // Both the scheduler search length and the total simulator workload
 // are charged one step per examined entry, as in the algorithm text.
+// The victim slice is the manager's reusable scratch: it stays valid
+// until the next placement search, which is exactly long enough for
+// the scheduler to consume the decision (sched.Apply evicts before
+// anything else runs). Callers that retain it longer must copy.
 func (m *Manager) FindAnyIdleNode(cfg *model.Config) (*model.Node, []*model.Entry) {
 	reqArea := cfg.ReqArea
 	var steps uint64
+	entries := m.evict[:0]
 	for _, node := range m.nodes {
 		if !node.HasCaps(cfg.RequiredCaps) {
 			steps++
 			continue
 		}
 		accum := node.AvailableArea
-		var entries []*model.Entry
+		entries = entries[:0]
 		for _, e := range node.Entries {
 			steps++
 			if e.Idle() {
 				accum += e.Config.ReqArea
 				entries = append(entries, e)
 				if accum >= reqArea {
+					m.evict = entries
 					m.search(steps)
 					return node, entries
 				}
 			}
 		}
 	}
+	m.evict = entries[:0]
 	m.search(steps)
 	return nil, nil
 }

@@ -74,11 +74,18 @@ type Options struct {
 // paperPolicy is the case-study algorithm of §V (Fig. 5 + Alg. 1).
 type paperPolicy struct {
 	opts Options
+
+	// evict is DecideOnNode's reusable victim buffer; the returned
+	// Decision's Evict slice is valid until the policy's next decision
+	// (the scheduler consumes it immediately via Apply).
+	evict []*model.Entry
 }
 
 // New returns the paper's scheduling algorithm with the given
 // options. The same policy serves both reconfiguration scenarios: the
-// nodes' PartialMode flags determine which phases can fire.
+// nodes' PartialMode flags determine which phases can fire. A Policy
+// carries per-decision scratch state, so one instance must not serve
+// concurrently running simulators — give each its own.
 func New(opts Options) Policy {
 	if opts.Placement == RandomFit && opts.RNG == nil {
 		panic("sched: RandomFit requires Options.RNG")
@@ -215,7 +222,7 @@ func (p *paperPolicy) DecideOnNode(m *resinfo.Manager, task *model.Task, node *m
 	}
 	// Partial re-configuration: reclaim this node's idle regions.
 	accum := node.AvailableArea
-	var victims []*model.Entry
+	victims := p.evict[:0]
 	steps = 0
 	for _, e := range node.Entries {
 		steps++
@@ -227,6 +234,7 @@ func (p *paperPolicy) DecideOnNode(m *resinfo.Manager, task *model.Task, node *m
 			}
 		}
 	}
+	p.evict = victims
 	m.ChargeSearch(steps)
 	if accum >= cfg.ReqArea && len(victims) > 0 {
 		d.Action, d.Node, d.Evict = ActReconfigure, node, victims

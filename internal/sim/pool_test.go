@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"testing"
+
+	"dreamsim/internal/invariant"
+)
+
+// The pool tests pin the ownership contract documented on Event: a
+// handle is live from scheduling until its callback returns, Remove
+// succeeds, or Release is called; after that the struct belongs to
+// the free list and may be handed out again.
+
+// TestPoolReusesReleasedEvent: Release feeds the next Schedule.
+func TestPoolReusesReleasedEvent(t *testing.T) {
+	var q Queue
+	q.Schedule(1, "a", func(Time) {})
+	popped := q.Pop()
+	q.Release(popped)
+	ev := q.Schedule(2, "b", func(Time) {})
+	if ev != popped {
+		t.Fatal("Schedule did not reuse the released event struct")
+	}
+	if ev.At != 2 || ev.Kind != "b" || ev.A != nil || ev.B != nil {
+		t.Fatalf("recycled event carries stale state: %+v", ev)
+	}
+}
+
+// TestRemoveReturnsPooledMemory: a cancelled event's struct is handed
+// out by the very next Schedule, and the cancellation leaves the heap
+// ordering intact.
+func TestRemoveReturnsPooledMemory(t *testing.T) {
+	var q Queue
+	a := q.Schedule(5, "a", func(Time) {})
+	q.Schedule(6, "b", func(Time) {})
+	if !q.Remove(a) {
+		t.Fatal("Remove failed")
+	}
+	c := q.Schedule(7, "c", func(Time) {})
+	if c != a {
+		t.Fatal("Schedule after Remove did not reuse the cancelled struct")
+	}
+	if got := q.Pop(); got.Kind != "b" {
+		t.Fatalf("first pop = %q, want b", got.Kind)
+	}
+	if got := q.Pop(); got != c || got.Kind != "c" {
+		t.Fatalf("second pop = %q, want c", got.Kind)
+	}
+}
+
+// TestPooledEventsNeverAliasLive: recycling one event and mutating
+// its successor must not disturb events still in the heap.
+func TestPooledEventsNeverAliasLive(t *testing.T) {
+	var q Queue
+	q.Schedule(1, "dead", func(Time) {})
+	live := q.Schedule(9, "live", func(Time) {})
+	q.Release(q.Pop())
+	fresh := q.Schedule(3, "fresh", func(Time) {})
+	if fresh == live {
+		t.Fatal("pool handed out a live event")
+	}
+	fresh.Kind = "mutated"
+	fresh.A = "payload"
+	if live.At != 9 || live.Kind != "live" || live.A != nil {
+		t.Fatalf("mutating a recycled event corrupted a live one: %+v", live)
+	}
+	if got := q.Pop(); got != fresh {
+		t.Fatal("heap order broken after recycling")
+	}
+	if got := q.Pop(); got != live {
+		t.Fatal("live event lost after recycling")
+	}
+}
+
+// TestResetKeepsFIFOWithinTick: after Reset the restarted sequence
+// numbering reproduces insertion-order firing for same-tick events,
+// exactly as a fresh queue would.
+func TestResetKeepsFIFOWithinTick(t *testing.T) {
+	var q Queue
+	q.Schedule(10, "x", func(Time) {})
+	q.Schedule(10, "y", func(Time) {})
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	var order []string
+	for _, k := range []string{"first", "second", "third"} {
+		k := k
+		q.Schedule(42, k, func(Time) { order = append(order, k) })
+	}
+	for q.Len() > 0 {
+		ev := q.Pop()
+		ev.Fire(ev.At)
+		q.Release(ev)
+	}
+	if len(order) != 3 || order[0] != "first" || order[1] != "second" || order[2] != "third" {
+		t.Fatalf("post-Reset same-tick order = %v", order)
+	}
+}
+
+// TestResetRecyclesPendingEvents: events pending at Reset time come
+// back out of the pool.
+func TestResetRecyclesPendingEvents(t *testing.T) {
+	var q Queue
+	a := q.Schedule(1, "a", func(Time) {})
+	b := q.Schedule(2, "b", func(Time) {})
+	q.Reset()
+	// Pool is LIFO: b was released last, so it is handed out first.
+	if got := q.Schedule(3, "c", func(Time) {}); got != b {
+		t.Fatal("Reset did not pool the pending events (first)")
+	}
+	if got := q.Schedule(4, "d", func(Time) {}); got != a {
+		t.Fatal("Reset did not pool the pending events (second)")
+	}
+}
+
+// TestEngineReleasesFiredEvents: the engine recycles each event after
+// its callback returns, so a schedule/fire loop reuses one struct.
+func TestEngineReleasesFiredEvents(t *testing.T) {
+	var e Engine
+	first := e.ScheduleAt(1, "a", func(Time) {})
+	if !e.Step() {
+		t.Fatal("no event to step")
+	}
+	second := e.ScheduleAt(2, "b", func(Time) {})
+	if second != first {
+		t.Fatal("engine did not recycle the fired event")
+	}
+	if !e.Step() || e.Now() != 2 {
+		t.Fatalf("second step failed, now=%d", e.Now())
+	}
+}
+
+// TestEngineKeepsRequeuedEvents: a callback that re-Pushes its own
+// event (the periodic-event idiom) must not have the struct recycled
+// out from under it.
+func TestEngineKeepsRequeuedEvents(t *testing.T) {
+	var e Engine
+	fired := 0
+	var ev *Event
+	ev = e.ScheduleEventAt(1, "tick", func(self *Event, now Time) {
+		fired++
+		if fired < 3 {
+			self.At = now + 1
+			e.Queue.Push(self)
+		}
+	}, nil, nil)
+	e.Run(nil)
+	if fired != 3 {
+		t.Fatalf("periodic event fired %d times, want 3", fired)
+	}
+	// After the last firing the engine pools it; the next Schedule
+	// must hand the same struct back.
+	if got := e.ScheduleAt(e.Now(), "next", func(Time) {}); got != ev {
+		t.Fatal("final firing did not recycle the periodic event")
+	}
+}
+
+// TestEngineResetRestoresInitialState: Reset rewinds clock, queue,
+// hooks and counters so one engine serves many runs.
+func TestEngineResetRestoresInitialState(t *testing.T) {
+	var e Engine
+	e.TickStep = true
+	ticks := 0
+	e.OnTick = func(Time) { ticks++ }
+	e.ScheduleAt(3, "a", func(Time) {})
+	e.ScheduleAt(5, "b", func(Time) {})
+	e.Run(nil)
+	if e.Now() != 5 || e.Processed() != 2 || ticks != 5 {
+		t.Fatalf("pre-reset run wrong: now=%d processed=%d ticks=%d", e.Now(), e.Processed(), ticks)
+	}
+	e.Reset()
+	if e.Now() != 0 || e.Processed() != 0 || e.Queue.Len() != 0 || e.TickStep || e.OnTick != nil {
+		t.Fatal("Reset left engine state behind")
+	}
+	e.ScheduleAt(2, "c", func(Time) {})
+	if got := e.Run(nil); got != 2 || e.Processed() != 1 {
+		t.Fatalf("post-reset run wrong: end=%d processed=%d", got, e.Processed())
+	}
+}
+
+// TestScheduleEventPayloads: Handler callbacks see the event's A/B
+// payload slots and the recycled struct clears them.
+func TestScheduleEventPayloads(t *testing.T) {
+	var q Queue
+	type task struct{ no int }
+	pay := &task{no: 7}
+	var got *task
+	q.ScheduleEvent(4, "payload", func(ev *Event, now Time) {
+		got = ev.A.(*task)
+		if ev.B != nil {
+			t.Error("B should be nil")
+		}
+		if now != 4 {
+			t.Errorf("now = %d", now)
+		}
+	}, pay, nil)
+	ev := q.Pop()
+	ev.Handle(ev, ev.At)
+	q.Release(ev)
+	if got != pay {
+		t.Fatal("payload not delivered")
+	}
+	if next := q.Schedule(5, "next", func(Time) {}); next != ev || next.A != nil || next.Handle != nil {
+		t.Fatal("recycled event kept payload or handler")
+	}
+}
+
+// TestReleaseQueuedEventPanics: pooling an event that is still in the
+// heap would let two live events share one struct.
+func TestReleaseQueuedEventPanics(t *testing.T) {
+	var q Queue
+	ev := q.Schedule(1, "x", func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release of a queued event did not panic")
+		}
+	}()
+	q.Release(ev)
+}
+
+// TestPushFreedEventPanics: a stale handle must not re-enter the heap.
+func TestPushFreedEventPanics(t *testing.T) {
+	var q Queue
+	ev := q.Schedule(1, "x", func(Time) {})
+	q.Remove(ev)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push of a freed event did not panic")
+		}
+	}()
+	ev.Fire = func(Time) {}
+	q.Push(ev)
+}
+
+// TestQueuePushPopZeroAlloc is the hard allocation gate on the event
+// path: steady-state schedule/pop/release traffic must not allocate.
+func TestQueuePushPopZeroAlloc(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariants build trades allocations for assertions")
+	}
+	if invariant.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	var q Queue
+	fire := func(Time) {}
+	at := Time(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		at++
+		q.Schedule(at, "z", fire)
+		q.Schedule(at, "z2", fire)
+		q.Release(q.Pop())
+		q.Release(q.Pop())
+	})
+	if allocs != 0 {
+		t.Fatalf("queue push/pop allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkQueuePushPop measures the pooled event path; the 0 B/op,
+// 0 allocs/op result is gated in CI (perf-smoke).
+func BenchmarkQueuePushPop(b *testing.B) {
+	var q Queue
+	fire := func(Time) {}
+	// Warm the pool and heap slice so growth is outside the loop.
+	for i := 0; i < 64; i++ {
+		q.Schedule(Time(i), "w", fire)
+	}
+	q.Reset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := Time(i)
+		q.Schedule(at, "a", fire)
+		q.Schedule(at, "b", fire)
+		q.Schedule(at+1, "c", fire)
+		q.Release(q.Pop())
+		q.Release(q.Pop())
+		q.Release(q.Pop())
+	}
+}

@@ -7,6 +7,17 @@
 // simulated results; the engine supports both (the core simulator
 // jumps to the next scheduled event by default and can be forced to
 // step tick-by-tick for the paper-faithful ablation).
+//
+// Allocation discipline: the Queue owns a free list of Event structs.
+// Schedule/ScheduleEvent draw from it, the Engine returns an event to
+// it after firing, Remove returns cancelled events to it, and Reset
+// recycles a whole run's pending events while keeping the heap's
+// backing slice. Steady-state event traffic therefore allocates
+// nothing. The ownership contract: an *Event handle is valid from
+// scheduling until its callback returns or Remove succeeds; after
+// that the struct may be recycled for an unrelated event and must not
+// be touched. Under -tags invariants freed events are poisoned so a
+// stale handle fails loudly instead of corrupting a live event.
 package sim
 
 import (
@@ -50,15 +61,39 @@ func (c *Clock) AdvanceTo(t Time) {
 	c.now = t
 }
 
+// Handler is the allocation-free event callback: the queue hands the
+// event back so payloads travel in its A/B slots instead of a fresh
+// closure per event.
+type Handler func(ev *Event, now Time)
+
+// freedIndex marks an event sitting on the free list. Live events use
+// index >= 0 (queued) or -1 (not queued).
+const freedIndex = -2
+
+// poisonedAt is written into freed events under -tags invariants; any
+// heap comparison against a stale handle then trips the monotonicity
+// assertion instead of silently reordering live events.
+const poisonedAt Time = -1 << 62
+
+// FreedKind labels pooled events under -tags invariants.
+const FreedKind = "sim:freed"
+
 // Event is a scheduled occurrence. Events at the same timetick fire
 // in scheduling order (FIFO), which keeps runs deterministic.
+//
+// Exactly one of Fire and Handle must be set; Handle wins when both
+// are. A and B are opaque payload slots for Handle callbacks (store
+// pointers — pointer-shaped values in an interface do not allocate).
 type Event struct {
 	At   Time
 	Kind string // diagnostic label, e.g. "arrival", "completion"
 	Fire func(now Time)
 
+	Handle Handler
+	A, B   any
+
 	seq   uint64 // tie-breaker: insertion order
-	index int    // heap position; -1 when not queued
+	index int    // heap position; -1 not queued; -2 on the free list
 }
 
 // Queue is a min-heap of future events ordered by (At, insertion
@@ -66,6 +101,10 @@ type Event struct {
 type Queue struct {
 	events  []*Event
 	nextSeq uint64
+
+	// free holds recycled Event structs for reuse by Schedule and
+	// ScheduleEvent.
+	free []*Event
 
 	// lastPopped backs the -tags invariants monotonicity assertion:
 	// a min-heap must never emit an event earlier than one it already
@@ -76,10 +115,58 @@ type Queue struct {
 // Len reports the number of pending events.
 func (q *Queue) Len() int { return len(q.events) }
 
-// Push schedules ev. It panics if the event is already queued.
+// alloc returns a zeroed Event from the free list, or a fresh one.
+func (q *Queue) alloc() *Event {
+	n := len(q.free)
+	if n == 0 {
+		return &Event{index: -1}
+	}
+	ev := q.free[n-1]
+	q.free[n-1] = nil
+	q.free = q.free[:n-1]
+	*ev = Event{index: -1}
+	return ev
+}
+
+// release puts ev on the free list. Double release is a no-op in
+// normal builds (asserted under -tags invariants) so that the free
+// list can never hold the same struct twice.
+func (q *Queue) release(ev *Event) {
+	if ev.index == freedIndex {
+		if invariant.Enabled {
+			invariant.Assertf(false, "sim: double release of event %q", ev.Kind)
+		}
+		return
+	}
+	ev.Fire = nil
+	ev.Handle = nil
+	ev.A, ev.B = nil, nil
+	if invariant.Enabled {
+		ev.At = poisonedAt
+		ev.Kind = FreedKind
+	}
+	ev.index = freedIndex
+	q.free = append(q.free, ev)
+}
+
+// Release returns an event to the pool once the caller is done with
+// it — typically after Pop in a manual drain loop. Releasing a queued
+// event panics; cancel with Remove instead (which releases itself).
+func (q *Queue) Release(ev *Event) {
+	if i := ev.index; i >= 0 && i < len(q.events) && q.events[i] == ev {
+		panic("sim: releasing queued event")
+	}
+	q.release(ev)
+}
+
+// Push schedules ev. It panics if the event is already queued, was
+// freed, or has no callback.
 func (q *Queue) Push(ev *Event) {
-	if ev.Fire == nil {
+	if ev.Fire == nil && ev.Handle == nil {
 		panic("sim: event with nil Fire")
+	}
+	if ev.index == freedIndex {
+		panic("sim: pushing freed event")
 	}
 	if ev.index > 0 || (len(q.events) > 0 && ev.index == 0 && q.events[0] == ev) {
 		panic("sim: event already queued")
@@ -91,9 +178,22 @@ func (q *Queue) Push(ev *Event) {
 	q.up(ev.index)
 }
 
-// Schedule is a convenience wrapper allocating the Event.
+// Schedule queues a closure callback, drawing the Event from the pool.
 func (q *Queue) Schedule(at Time, kind string, fire func(now Time)) *Event {
-	ev := &Event{At: at, Kind: kind, Fire: fire, index: -1}
+	ev := q.alloc()
+	ev.At, ev.Kind, ev.Fire = at, kind, fire
+	q.Push(ev)
+	return ev
+}
+
+// ScheduleEvent queues a Handler callback with its payload, drawing
+// the Event from the pool. This is the allocation-free path: with a
+// pre-bound Handler and pointer payloads, steady-state scheduling
+// performs no heap allocation.
+func (q *Queue) ScheduleEvent(at Time, kind string, h Handler, a, b any) *Event {
+	ev := q.alloc()
+	ev.At, ev.Kind, ev.Handle = at, kind, h
+	ev.A, ev.B = a, b
 	q.Push(ev)
 	return ev
 }
@@ -108,7 +208,9 @@ func (q *Queue) PeekTime() (t Time, ok bool) {
 }
 
 // Pop removes and returns the earliest pending event (ties broken by
-// insertion order). It returns nil when the queue is empty.
+// insertion order). It returns nil when the queue is empty. The
+// caller owns the event until it calls Release (the Engine does this
+// automatically after firing).
 func (q *Queue) Pop() *Event {
 	if len(q.events) == 0 {
 		return nil
@@ -131,8 +233,9 @@ func (q *Queue) Pop() *Event {
 	return ev
 }
 
-// Remove cancels a queued event. It reports whether the event was
-// actually pending.
+// Remove cancels a queued event and returns its memory to the pool.
+// It reports whether the event was actually pending. The handle is
+// dead after a successful Remove.
 func (q *Queue) Remove(ev *Event) bool {
 	i := ev.index
 	if i < 0 || i >= len(q.events) || q.events[i] != ev {
@@ -147,7 +250,23 @@ func (q *Queue) Remove(ev *Event) bool {
 		q.up(i)
 	}
 	ev.index = -1
+	q.release(ev)
 	return true
+}
+
+// Reset discards all pending events, recycling them and keeping both
+// the heap's backing slice and the free list, so the next run reuses
+// the same memory. Sequence numbering restarts so FIFO-within-tick
+// ordering is reproduced exactly across runs.
+func (q *Queue) Reset() {
+	for i, ev := range q.events {
+		q.events[i] = nil
+		ev.index = -1
+		q.release(ev)
+	}
+	q.events = q.events[:0]
+	q.nextSeq = 0
+	q.lastPopped = 0
 }
 
 func (q *Queue) less(i, j int) bool {
@@ -213,6 +332,17 @@ type Engine struct {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.Clock.Now() }
 
+// Reset rewinds the engine to its initial state — clock at tick 0, no
+// pending events, no tick hook — while keeping the queue's backing
+// slice and event pool for reuse by the next run.
+func (e *Engine) Reset() {
+	e.Queue.Reset()
+	e.Clock = Clock{}
+	e.TickStep = false
+	e.OnTick = nil
+	e.processed = 0
+}
+
 // ScheduleAt queues fire to run at absolute time at. Scheduling in
 // the past panics: causality must hold.
 func (e *Engine) ScheduleAt(at Time, kind string, fire func(now Time)) *Event {
@@ -230,8 +360,42 @@ func (e *Engine) ScheduleAfter(delay Time, kind string, fire func(now Time)) *Ev
 	return e.Queue.Schedule(e.Clock.Now()+delay, kind, fire)
 }
 
+// ScheduleEventAt is ScheduleAt for Handler callbacks with payloads —
+// the allocation-free path.
+func (e *Engine) ScheduleEventAt(at Time, kind string, h Handler, a, b any) *Event {
+	if at < e.Clock.Now() {
+		panic(fmt.Sprintf("sim: scheduling %q at %d before now %d", kind, at, e.Clock.Now()))
+	}
+	return e.Queue.ScheduleEvent(at, kind, h, a, b)
+}
+
+// ScheduleEventAfter is ScheduleAfter for Handler callbacks with
+// payloads.
+func (e *Engine) ScheduleEventAfter(delay Time, kind string, h Handler, a, b any) *Event {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return e.Queue.ScheduleEvent(e.Clock.Now()+delay, kind, h, a, b)
+}
+
 // Processed reports how many events have fired so far.
 func (e *Engine) Processed() uint64 { return e.processed }
+
+// fire invokes ev's callback and recycles the event unless the
+// callback re-queued it (periodic events re-Push themselves from
+// inside their own firing).
+func (e *Engine) fire(ev *Event) {
+	e.processed++
+	at := ev.At
+	if ev.Handle != nil {
+		ev.Handle(ev, at)
+	} else {
+		ev.Fire(at)
+	}
+	if ev.index == -1 {
+		e.Queue.release(ev)
+	}
+}
 
 // Step fires the single earliest event (advancing the clock to it)
 // and reports whether an event was available.
@@ -241,8 +405,7 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	e.Clock.AdvanceTo(ev.At)
-	e.processed++
-	ev.Fire(ev.At)
+	e.fire(ev)
 	return true
 }
 
@@ -286,9 +449,7 @@ func (e *Engine) runTicked(stop func() bool) Time {
 			if !ok || t != e.Clock.Now() {
 				break
 			}
-			ev := e.Queue.Pop()
-			e.processed++
-			ev.Fire(ev.At)
+			e.fire(e.Queue.Pop())
 		}
 	}
 }

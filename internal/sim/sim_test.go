@@ -305,14 +305,3 @@ func TestQuickRemoveConsistency(t *testing.T) {
 		t.Error(err)
 	}
 }
-
-func BenchmarkQueuePushPop(b *testing.B) {
-	var q Queue
-	fire := func(Time) {}
-	for i := 0; i < b.N; i++ {
-		q.Schedule(Time(i%1024), "b", fire)
-		if q.Len() > 512 {
-			q.Pop()
-		}
-	}
-}

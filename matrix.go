@@ -88,14 +88,16 @@ func RunMatrix(base Params, nodeCounts, taskCounts []int, onCell func(Cell)) (*M
 		pending[i].Store(2)
 	}
 	var cellMu sync.Mutex
-	err := exec.Do(context.Background(), workersFor(base.Parallelism, 2*len(m.Cells)), 2*len(m.Cells),
-		func(_ context.Context, u int) error {
+	workers := workersFor(base.Parallelism, 2*len(m.Cells))
+	scratch := newScratchPool(workers)
+	err := exec.DoWorkers(context.Background(), workers, 2*len(m.Cells),
+		func(_ context.Context, w, u int) error {
 			cell := &m.Cells[u/2]
 			p := base
 			p.Nodes = cell.Nodes
 			p.Tasks = cell.Tasks
 			p.PartialReconfig = u%2 == 1
-			res, err := Run(p)
+			res, err := runScratch(p, scratch.get(w))
 			if err != nil {
 				return fmt.Errorf("dreamsim: matrix cell %d nodes/%d tasks: %w", cell.Nodes, cell.Tasks, err)
 			}

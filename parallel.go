@@ -12,7 +12,11 @@ package dreamsim
 // scheduling; only wall-clock time changes. Params.Parallelism
 // selects the worker count; internal/exec supplies the pool.
 
-import "runtime"
+import (
+	"runtime"
+
+	"dreamsim/internal/core"
+)
 
 // DefaultParallelism returns the worker count the CLI tools default
 // to: one worker per CPU.
@@ -28,4 +32,21 @@ func workersFor(parallelism, units int) int {
 		parallelism = units
 	}
 	return parallelism
+}
+
+// scratchPool hands each experiment worker a reusable core run
+// context, built on first use. exec.DoWorkers guarantees a worker
+// index is never shared by two concurrent units, so slot w needs no
+// locking; the context amortises per-run state (event pool, dense
+// bookkeeping slices) over the worker's whole unit stream without
+// changing any result.
+type scratchPool []*core.RunContext
+
+func newScratchPool(workers int) scratchPool { return make(scratchPool, workers) }
+
+func (s scratchPool) get(w int) *core.RunContext {
+	if s[w] == nil {
+		s[w] = core.NewRunContext()
+	}
+	return s[w]
 }

@@ -34,11 +34,13 @@ func RunReplicated(p Params, seeds []uint64) ([]MetricStats, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("dreamsim: RunReplicated needs at least one seed")
 	}
-	results, err := exec.Map(context.Background(), workersFor(p.Parallelism, len(seeds)), len(seeds),
-		func(_ context.Context, i int) (Result, error) {
+	workers := workersFor(p.Parallelism, len(seeds))
+	scratch := newScratchPool(workers)
+	results, err := exec.MapWorkers(context.Background(), workers, len(seeds),
+		func(_ context.Context, w, i int) (Result, error) {
 			q := p
 			q.Seed = seeds[i]
-			res, err := Run(q)
+			res, err := runScratch(q, scratch.get(w))
 			if err != nil {
 				return Result{}, fmt.Errorf("dreamsim: seed %d: %w", seeds[i], err)
 			}
@@ -114,12 +116,22 @@ func ComparePaired(p Params, seeds []uint64) ([]PairedMetric, error) {
 		return nil, fmt.Errorf("dreamsim: ComparePaired needs at least two seeds")
 	}
 	type pair struct{ full, partial Result }
-	pairs, err := exec.Map(context.Background(), workersFor(p.Parallelism, len(seeds)), len(seeds),
-		func(_ context.Context, i int) (pair, error) {
+	workers := workersFor(p.Parallelism, len(seeds))
+	scratch := newScratchPool(workers)
+	pairs, err := exec.MapWorkers(context.Background(), workers, len(seeds),
+		func(_ context.Context, w, i int) (pair, error) {
+			// Each pair runs its two scenarios sequentially on the
+			// worker's context, so total concurrency stays bounded.
 			q := p
 			q.Seed = seeds[i]
 			q.Parallelism = 1 // the seed fan-out is the unit of parallelism
-			full, partial, err := Compare(q)
+			q.PartialReconfig = false
+			full, err := runScratch(q, scratch.get(w))
+			if err != nil {
+				return pair{}, fmt.Errorf("dreamsim: seed %d: %w", seeds[i], err)
+			}
+			q.PartialReconfig = true
+			partial, err := runScratch(q, scratch.get(w))
 			if err != nil {
 				return pair{}, fmt.Errorf("dreamsim: seed %d: %w", seeds[i], err)
 			}
