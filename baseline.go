@@ -3,7 +3,6 @@ package dreamsim
 import (
 	"dreamsim/internal/core"
 	"dreamsim/internal/gridsim"
-	"dreamsim/internal/workload"
 )
 
 // BaselineParams configures a GridSim/CRGridSim-style fixed-capacity
@@ -52,11 +51,8 @@ func RunBaseline(bp BaselineParams, p Params) (BaselineResult, error) {
 	if err != nil {
 		return BaselineResult{}, err
 	}
-	tasks := workload.Drain(s.Source())
-	src, err := workload.SliceSource(tasks)
-	if err != nil {
-		return BaselineResult{}, err
-	}
+	// The simulator's source streams straight into the baseline —
+	// same seed, same generator, no materialized copy of the workload.
 	gres, err := gridsim.Run(gridsim.Params{
 		Resources:           bp.Resources,
 		SpeedLow:            bp.SpeedRange[0],
@@ -65,7 +61,7 @@ func RunBaseline(bp BaselineParams, p Params) (BaselineResult, error) {
 		Speedup:             bp.Speedup,
 		ReconfigDelay:       bp.ReconfigDelay,
 		Seed:                p.Seed,
-	}, src)
+	}, s.Source())
 	if err != nil {
 		return BaselineResult{}, err
 	}

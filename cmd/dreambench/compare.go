@@ -10,11 +10,22 @@ import (
 // sweepDelta is one sweep's old-vs-new comparison.
 type sweepDelta struct {
 	Label      string
-	Old, New   float64 // cells/sec
+	Old, New   float64 // throughput in Unit
+	Unit       string  // "cells/s" for matrix sweeps, "tasks/s" for single-run cells
 	Change     float64 // fractional change, negative = slower
 	Regression bool    // slowdown beyond the tolerance
 	Missing    bool    // sweep present in old but absent from new
 	Added      bool    // sweep present in new only
+}
+
+// rate returns a sweep's throughput and its unit: matrix sweeps are
+// compared in cells/sec, single-run cells (the large-scale streamed
+// sweep) in tasks/sec.
+func rate(s sweep) (float64, string) {
+	if s.CellsPerSec > 0 {
+		return s.CellsPerSec, "cells/s"
+	}
+	return s.TasksPerSec, "tasks/s"
 }
 
 // compareReports matches the two reports' sweeps by label and flags
@@ -29,23 +40,26 @@ func compareReports(oldRep, newRep report, tolerance float64) []sweepDelta {
 	}
 	var out []sweepDelta
 	for _, o := range oldRep.Sweeps {
+		oldRate, unit := rate(o)
 		n, ok := newByLabel[o.Label]
 		if !ok {
-			out = append(out, sweepDelta{Label: o.Label, Old: o.CellsPerSec, Missing: true})
+			out = append(out, sweepDelta{Label: o.Label, Old: oldRate, Unit: unit, Missing: true})
 			continue
 		}
 		delete(newByLabel, o.Label)
-		d := sweepDelta{Label: o.Label, Old: o.CellsPerSec, New: n.CellsPerSec}
-		if o.CellsPerSec > 0 {
-			d.Change = (n.CellsPerSec - o.CellsPerSec) / o.CellsPerSec
-			d.Regression = n.CellsPerSec < o.CellsPerSec*(1-tolerance)
+		newRate, _ := rate(n)
+		d := sweepDelta{Label: o.Label, Old: oldRate, New: newRate, Unit: unit}
+		if oldRate > 0 {
+			d.Change = (newRate - oldRate) / oldRate
+			d.Regression = newRate < oldRate*(1-tolerance)
 		}
 		out = append(out, d)
 	}
 	// Preserve new-report order for sweeps the old baseline lacks.
 	for _, s := range newRep.Sweeps {
 		if _, left := newByLabel[s.Label]; left {
-			out = append(out, sweepDelta{Label: s.Label, New: s.CellsPerSec, Added: true})
+			newRate, unit := rate(s)
+			out = append(out, sweepDelta{Label: s.Label, New: newRate, Unit: unit, Added: true})
 		}
 	}
 	return out
@@ -55,16 +69,16 @@ func compareReports(oldRep, newRep report, tolerance float64) []sweepDelta {
 func formatDelta(d sweepDelta) string {
 	switch {
 	case d.Missing:
-		return fmt.Sprintf("%-12s %8.1f -> (missing)  cells/s", d.Label, d.Old)
+		return fmt.Sprintf("%-12s %8.1f -> (missing)  %s", d.Label, d.Old, d.Unit)
 	case d.Added:
-		return fmt.Sprintf("%-12s (new)    -> %8.1f  cells/s", d.Label, d.New)
+		return fmt.Sprintf("%-12s (new)    -> %8.1f  %s", d.Label, d.New, d.Unit)
 	default:
 		verdict := "ok"
 		if d.Regression {
 			verdict = "REGRESSION"
 		}
-		return fmt.Sprintf("%-12s %8.1f -> %8.1f  cells/s  (%+.1f%%)  %s",
-			d.Label, d.Old, d.New, d.Change*100, verdict)
+		return fmt.Sprintf("%-12s %8.1f -> %8.1f  %s  (%+.1f%%)  %s",
+			d.Label, d.Old, d.New, d.Unit, d.Change*100, verdict)
 	}
 }
 

@@ -68,6 +68,31 @@ func TestCompareReportsToleranceBoundary(t *testing.T) {
 	}
 }
 
+func TestCompareReportsTasksPerSecUnit(t *testing.T) {
+	oldRep := report{Sweeps: []sweep{
+		{Label: "stream-large", Stream: true, Nodes: 2000, Tasks: 250000, TasksPerSec: 100000},
+	}}
+	newRep := report{Sweeps: []sweep{
+		{Label: "stream-large", Stream: true, Nodes: 2000, Tasks: 250000, TasksPerSec: 80000}, // -20%
+		{Label: "mp1/par2", CellsPerSec: 50},
+	}}
+	deltas := compareReports(oldRep, newRep, 0.10)
+	byLabel := map[string]sweepDelta{}
+	for _, d := range deltas {
+		byLabel[d.Label] = d
+	}
+	large := byLabel["stream-large"]
+	if large.Unit != "tasks/s" || !large.Regression {
+		t.Errorf("large cell misreported: %+v", large)
+	}
+	if !strings.Contains(formatDelta(large), "tasks/s") {
+		t.Errorf("formatted delta lacks tasks/s unit: %q", formatDelta(large))
+	}
+	if m := byLabel["mp1/par2"]; !m.Added || m.Unit != "cells/s" {
+		t.Errorf("matrix sweep misreported: %+v", m)
+	}
+}
+
 func TestCompareReportsMissingSweep(t *testing.T) {
 	oldRep := report{Sweeps: []sweep{{Label: "gone", CellsPerSec: 50}}}
 	deltas := compareReports(oldRep, report{}, 0.10)

@@ -30,14 +30,21 @@ import (
 	"dreamsim"
 )
 
-// sweep is one timed configuration of the engine.
+// sweep is one timed configuration of the engine. Matrix sweeps carry
+// the GOMAXPROCS they ran under; the large-scale streamed cell carries
+// its node/task shape and reports tasks/sec instead of cells/sec.
 type sweep struct {
 	Label       string  `json:"label"`
 	Parallel    int     `json:"parallel"`
 	FastSearch  bool    `json:"fast_search"`
 	Runs        int     `json:"runs"`
 	NsPerSweep  int64   `json:"ns_per_sweep"`
-	CellsPerSec float64 `json:"cells_per_sec"`
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+	Procs       int     `json:"gomaxprocs,omitempty"`
+	Stream      bool    `json:"stream,omitempty"`
+	Nodes       int     `json:"nodes,omitempty"`
+	Tasks       int     `json:"tasks,omitempty"`
+	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
 }
 
 // report is the BENCH_<date>.json schema.
@@ -60,6 +67,10 @@ func main() {
 		parallel  = flag.Int("parallel", dreamsim.DefaultParallelism(), "worker count for the parallel sweep")
 		fast      = flag.Bool("fast-search", false, "also time the indexed resource-search path")
 		runs      = flag.Int("runs", 3, "timed repetitions per configuration (best run is reported)")
+		noMatrix  = flag.Bool("no-matrix", false, "skip the GOMAXPROCS x workers matrix sweeps")
+		noLarge   = flag.Bool("no-large", false, "skip the large-scale streamed cell")
+		largeN    = flag.Int("large-nodes", 2000, "node count of the large-scale streamed cell")
+		largeT    = flag.Int("large-tasks", 250000, "task count of the large-scale streamed cell")
 		outDir    = flag.String("out", "", "directory for BENCH_<date>.json (default: print to stdout only)")
 		compare   = flag.Bool("compare", false, "compare two BENCH files: dreambench -compare old.json new.json (exit 1 on regression)")
 		tolerance = flag.Float64("tolerance", 0.10, "fractional cells/sec slowdown -compare tolerates per sweep")
@@ -120,6 +131,55 @@ func main() {
 			CellsPerSec: float64(cells) / d.Seconds(),
 		}
 	}
+	// mkMatrixSweep times one GOMAXPROCS x workers matrix point: the
+	// scheduler is pinned to procs OS threads while par sweep workers
+	// fan cells out, exposing how worker speedup scales with the
+	// processors actually available.
+	mkMatrixSweep := func(procs, par int) sweep {
+		prev := runtime.GOMAXPROCS(procs)
+		s := mkSweep(fmt.Sprintf("mp%d/par%d", procs, par), par, false)
+		runtime.GOMAXPROCS(prev)
+		s.Procs = procs
+		return s
+	}
+	// mkLargeSweep times one streamed large-scale run (single cell, so
+	// its throughput is tasks/sec rather than cells/sec).
+	mkLargeSweep := func(nodes, tasks int) sweep {
+		p := base
+		p.Nodes = nodes
+		p.Tasks = tasks
+		p.Stream = true
+		p.FastSearch = true
+		p.PartialReconfig = true
+		time1Run := func() time.Duration {
+			start := time.Now()
+			if _, err := dreamsim.Run(p); err != nil {
+				fmt.Fprintln(os.Stderr, "dreambench:", err)
+				os.Exit(1)
+			}
+			return time.Since(start)
+		}
+		d := time1Run()
+		for i := 1; i < *runs; i++ {
+			if r := time1Run(); r < d {
+				d = r
+			}
+		}
+		label := "stream-large"
+		fmt.Fprintf(os.Stderr, "%-12s nodes=%-5d tasks=%-8d  %12v  %9.0f tasks/s\n",
+			label, nodes, tasks, d, float64(tasks)/d.Seconds())
+		return sweep{
+			Label:       label,
+			Parallel:    1,
+			FastSearch:  true,
+			Runs:        *runs,
+			NsPerSweep:  d.Nanoseconds(),
+			Stream:      true,
+			Nodes:       nodes,
+			Tasks:       tasks,
+			TasksPerSec: float64(tasks) / d.Seconds(),
+		}
+	}
 
 	rep := report{
 		Date:      time.Now().Format("2006-01-02"),
@@ -137,6 +197,16 @@ func main() {
 		rep.Sweeps = append(rep.Sweeps, mkSweep("fast-search", 1, true))
 	}
 	rep.Speedup = float64(seq.NsPerSweep) / float64(par.NsPerSweep)
+	if !*noMatrix {
+		for _, procs := range dedupInts(1, runtime.NumCPU()) {
+			for _, workers := range dedupInts(1, 2, *parallel) {
+				rep.Sweeps = append(rep.Sweeps, mkMatrixSweep(procs, workers))
+			}
+		}
+	}
+	if !*noLarge {
+		rep.Sweeps = append(rep.Sweeps, mkLargeSweep(*largeN, *largeT))
+	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -153,4 +223,18 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "wrote", path)
 	}
+}
+
+// dedupInts returns the positive values with duplicates removed,
+// preserving first-occurrence order so matrix labels stay stable.
+func dedupInts(vals ...int) []int {
+	var out []int
+	seen := make(map[int]bool, len(vals))
+	for _, v := range vals {
+		if v > 0 && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
 }

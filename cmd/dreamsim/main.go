@@ -44,6 +44,9 @@ func main() {
 		replicate   = flag.Int("replicate", 0, "replicate the run over N seeds and print metric statistics")
 		parallel    = flag.Int("parallel", dreamsim.DefaultParallelism(), "workers for -compare/-replicate fan-out (1 = sequential)")
 		fastSearch  = flag.Bool("fast-search", false, "use the indexed resource-search fast path (identical results and counters)")
+		stream      = flag.Bool("stream", false, "bounded-memory streaming engine: recycle finished tasks, window the monitor series (identical results)")
+		window      = flag.Int("window", 0, "monitoring samples per rolling aggregation window (0 = default on streamed runs; implies sampling)")
+		timelineOut = flag.String("timeline-out", "", "stream rolling-window timeline rows to this CSV file as the run progresses")
 
 		faultCrashRate  = flag.Float64("fault-crash-rate", 0, "mean random node crashes per timetick (0 = off)")
 		faultDowntime   = flag.Float64("fault-downtime", 0, "mean downtime of randomly crashed nodes, in timeticks")
@@ -80,7 +83,10 @@ func main() {
 	p.FaultRetryBudget = *faultRetries
 	p.FaultBackoffBase = *faultBackoff
 	p.FaultBackoffCap = *faultBackoffCap
-	if *timeline {
+	p.Stream = *stream
+	p.WindowSamples = *window
+	p.TimelinePath = *timelineOut
+	if *timeline || *window > 0 || *timelineOut != "" {
 		p.SampleEvery = 1
 	}
 
@@ -128,6 +134,12 @@ func main() {
 	if *timeline {
 		fmt.Println()
 		fmt.Print(res.TimelineText())
+	}
+	if res.WindowsTotal > 0 {
+		fmt.Printf("\nmonitoring windows closed: %d (%d retained)\n", res.WindowsTotal, len(res.Windows))
+	}
+	if *timelineOut != "" {
+		fmt.Printf("streaming timeline written to %s\n", *timelineOut)
 	}
 
 	if *xmlOut != "" {

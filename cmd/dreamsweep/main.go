@@ -34,6 +34,8 @@ func main() {
 		printParms = flag.Bool("print-params", false, "print the Table II simulation parameters and exit")
 		parallel   = flag.Int("parallel", dreamsim.DefaultParallelism(), "concurrent sweep workers (1 = sequential; results identical either way)")
 		fastSearch = flag.Bool("fast-search", false, "use the indexed resource-search fast path (identical results and counters)")
+		stream     = flag.Bool("stream", false, "bounded-memory streaming engine in every cell (identical results; heap stops scaling with task count)")
+		window     = flag.Int("window", 0, "monitoring samples per rolling aggregation window when cells sample (0 = streamed default)")
 
 		faultCrashRate  = flag.Float64("fault-crash-rate", 0, "mean random node crashes per timetick in every cell (0 = off)")
 		faultDowntime   = flag.Float64("fault-downtime", 0, "mean downtime of randomly crashed nodes, in timeticks")
@@ -81,6 +83,8 @@ func main() {
 	base.Seed = *seed
 	base.Parallelism = *parallel
 	base.FastSearch = *fastSearch
+	base.Stream = *stream
+	base.WindowSamples = *window
 	base.FaultCrashRate = *faultCrashRate
 	base.FaultMeanDowntime = *faultDowntime
 	base.FaultReconfigRate = *faultReconfRate

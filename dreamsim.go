@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 
 	"dreamsim/internal/core"
 	"dreamsim/internal/exec"
@@ -149,6 +150,29 @@ type Params struct {
 	// N-th placement/completion; the series lands in
 	// Result.Timeline/TimelineText.
 	SampleEvery int
+
+	// Stream enables the bounded-memory streaming engine: tasks are
+	// drawn lazily from the generator (they always are) AND released
+	// back to its free list the moment their lifecycle ends, so one
+	// run's heap is O(nodes + live tasks + window) instead of growing
+	// with the task count. Reports, metering and RNG streams are
+	// byte-identical to a non-streamed run at every scale. With
+	// SampleEvery also set, monitoring switches to the rolling-window
+	// aggregator (WindowSamples windows) so the time series stays
+	// bounded too.
+	Stream bool
+	// WindowSamples selects the rolling-window aggregation of
+	// monitoring samples: every WindowSamples-th sample closes a
+	// window, reduced to min/max/mean/p99 per metric
+	// (Result.Windows, and TimelinePath when set). 0 keeps the full
+	// series on plain runs and defaults to DefaultWindowSamples on
+	// streamed or timeline-writing runs.
+	WindowSamples int
+	// TimelinePath, when non-empty (and SampleEvery > 0), streams the
+	// closed window rows to this file as CSV while the run progresses
+	// — the incremental timeline output; the file never requires the
+	// series to be held in memory.
+	TimelinePath string
 
 	// Parallelism bounds how many independent simulation units the
 	// experiment helpers (Compare, RunMatrix, RunFigure, RunReplicated,
@@ -272,6 +296,7 @@ func (p Params) coreParams() (core.Params, error) {
 		TickStep:         p.TickStep,
 		FastSearch:       p.FastSearch,
 		FastSearchCutoff: p.FastSearchCutoff,
+		Stream:           p.Stream,
 		MaxSusRetries:    p.MaxSusRetries,
 		DefragThreshold:  p.DefragThreshold,
 	}
@@ -334,8 +359,15 @@ type Result struct {
 	Policy   string
 	// Seed echoes the run's seed.
 	Seed uint64
-	// Timeline holds monitoring samples when Params.SampleEvery > 0.
+	// Timeline holds monitoring samples when Params.SampleEvery > 0
+	// (plain mode; empty on windowed runs).
 	Timeline []TimelinePoint
+	// Windows holds the rolling-window aggregates when
+	// Params.WindowSamples selected windowed monitoring. The slice is
+	// bounded (the most recent rows); WindowsTotal counts every window
+	// that closed, including any the bound evicted.
+	Windows      []TimelineWindow
+	WindowsTotal int
 
 	rep          metrics.Report
 	xml          report.Simulation
@@ -350,6 +382,29 @@ type TimelinePoint struct {
 	Utilization  float64
 	WastedArea   int64
 }
+
+// WindowStat summarises one metric over one aggregation window
+// (nearest-rank p99).
+type WindowStat struct {
+	Min, Max, Mean, P99 float64
+}
+
+// TimelineWindow is one closed rolling-window aggregate of the
+// monitoring series: the tick span its samples covered and the
+// per-metric stats.
+type TimelineWindow struct {
+	Start, End  int64
+	Samples     int
+	Utilization WindowStat
+	Running     WindowStat
+	Suspended   WindowStat
+	WastedArea  WindowStat
+}
+
+// DefaultWindowSamples is the windowed-monitoring default: samples
+// per aggregation window on streamed or timeline-writing runs that
+// leave Params.WindowSamples zero.
+const DefaultWindowSamples = 4096
 
 // TimelineText renders the recorded utilisation/queue sparklines;
 // empty unless Params.SampleEvery was set.
@@ -372,32 +427,91 @@ func runScratch(p Params, scratch *core.RunContext) (Result, error) {
 	}
 	cp.Scratch = scratch
 	var rec *monitor.Recorder
+	var timelineFile *os.File
 	if p.SampleEvery > 0 {
-		rec = monitor.NewRecorder(p.SampleEvery)
+		window := p.WindowSamples
+		if window == 0 && (p.Stream || p.TimelinePath != "") {
+			window = DefaultWindowSamples
+		}
+		switch {
+		case window > 0:
+			var sink func(monitor.WindowRow) error
+			if p.TimelinePath != "" {
+				f, ferr := os.Create(p.TimelinePath)
+				if ferr != nil {
+					return Result{}, ferr
+				}
+				timelineFile = f
+				sink = monitor.NewTimelineWriter(f).Write
+			}
+			rec = monitor.NewWindowRecorder(p.SampleEvery, window, sink)
+		default:
+			rec = monitor.NewRecorder(p.SampleEvery)
+		}
 		cp.Recorder = rec
+	}
+	closeTimeline := func() error {
+		if timelineFile == nil {
+			return nil
+		}
+		f := timelineFile
+		timelineFile = nil
+		return f.Close()
 	}
 	s, err := core.New(cp)
 	if err != nil {
+		closeTimeline()
 		return Result{}, err
 	}
 	res, err := s.Run()
 	if err != nil {
+		closeTimeline()
 		return Result{}, err
 	}
 	out := wrap(res, cp)
 	if rec != nil {
-		for _, sm := range rec.Samples() {
-			out.Timeline = append(out.Timeline, TimelinePoint{
-				Time:         sm.Time,
-				RunningTasks: sm.Running,
-				Suspended:    sm.Suspended,
-				Utilization:  sm.Utilization,
-				WastedArea:   sm.WastedArea,
-			})
+		if rec.Windowed() {
+			if err := rec.FinishWindows(); err != nil {
+				closeTimeline()
+				return Result{}, err
+			}
+			for _, row := range rec.Windows() {
+				out.Windows = append(out.Windows, publicWindow(row))
+			}
+			out.WindowsTotal = rec.WindowsTotal()
+		} else {
+			for _, sm := range rec.Samples() {
+				out.Timeline = append(out.Timeline, TimelinePoint{
+					Time:         sm.Time,
+					RunningTasks: sm.Running,
+					Suspended:    sm.Suspended,
+					Utilization:  sm.Utilization,
+					WastedArea:   sm.WastedArea,
+				})
+			}
 		}
 		out.timelineText = rec.Timeline(60)
 	}
+	if err := closeTimeline(); err != nil {
+		return Result{}, err
+	}
 	return out, nil
+}
+
+// publicWindow converts an internal window row to the public mirror.
+func publicWindow(row monitor.WindowRow) TimelineWindow {
+	stat := func(s monitor.WindowStat) WindowStat {
+		return WindowStat{Min: s.Min, Max: s.Max, Mean: s.Mean, P99: s.P99}
+	}
+	return TimelineWindow{
+		Start:       row.Start,
+		End:         row.End,
+		Samples:     row.Samples,
+		Utilization: stat(row.Utilization),
+		Running:     stat(row.Running),
+		Suspended:   stat(row.Suspended),
+		WastedArea:  stat(row.WastedArea),
+	}
 }
 
 // RunTrace executes one simulation with the task stream read from a
@@ -421,7 +535,8 @@ func RunTrace(r io.Reader, p Params) (Result, error) {
 }
 
 // GenerateTrace synthesises the task stream the given parameters
-// would produce and writes it as a trace.
+// would produce and writes it as a trace. The stream is written task
+// by task — generating a million-task trace needs O(1) task memory.
 func GenerateTrace(w io.Writer, p Params) error {
 	cp, err := p.coreParams()
 	if err != nil {
@@ -431,7 +546,7 @@ func GenerateTrace(w io.Writer, p Params) error {
 	if err != nil {
 		return err
 	}
-	return workload.WriteTrace(w, workload.Drain(s.Source()))
+	return workload.WriteTraceFrom(w, s.Source())
 }
 
 // Compare runs the full- and partial-reconfiguration scenarios over

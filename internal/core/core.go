@@ -48,7 +48,17 @@ type Params struct {
 	// Source replaces the synthetic task generator with an external
 	// arrival stream, e.g. a trace (optional). Spec still generates
 	// nodes and configurations.
-	Source workload.Source
+	Source workload.TaskSource
+	// Stream enables the bounded-memory streaming discipline: every
+	// task whose lifecycle has terminally ended (completed, discarded
+	// or lost) is released back to the source's free list (when the
+	// source implements workload.Recycler), so peak heap is
+	// O(nodes + live tasks + window), independent of the total task
+	// count. Results, metering and RNG streams are byte-identical to a
+	// non-streamed run — recycling touches only allocation behaviour.
+	// Ignored when OnEvent is set: an observer may legitimately retain
+	// task pointers past the callback, which recycling would corrupt.
+	Stream bool
 	// TickStep forces the paper-literal tick-by-tick clock instead of
 	// event jumping. Results are identical; wall time is not.
 	TickStep bool
@@ -136,7 +146,8 @@ type Simulator struct {
 	eng     *sim.Engine // ctx's engine
 	mgr     *resinfo.Manager
 	policy  sched.Policy
-	source  workload.Source
+	source  workload.TaskSource
+	recycle workload.Recycler // non-nil only in streaming mode (Params.Stream)
 	sus     *reslists.SusQueue
 	c       *metrics.Counters
 	ran     bool
@@ -237,6 +248,12 @@ func New(params Params) (*Simulator, error) {
 		sus:    reslists.NewSusQueue(),
 		c:      counters,
 	}
+	if params.Stream && params.OnEvent == nil {
+		// Streaming discipline: terminal tasks go back to the source's
+		// free list. Sources without a free list (SliceSource) simply
+		// keep the non-recycled behaviour.
+		s.recycle, _ = source.(workload.Recycler)
+	}
 	s.bindHandlers()
 	if len(params.Deps) > 0 {
 		s.depsOn = true
@@ -322,7 +339,7 @@ func (s *Simulator) Manager() *resinfo.Manager { return s.mgr }
 // Source exposes the task arrival stream. Draining it manually (for
 // trace capture) consumes the tasks the run would otherwise see, so
 // do not also Run the same Simulator afterwards.
-func (s *Simulator) Source() workload.Source { return s.source }
+func (s *Simulator) Source() workload.TaskSource { return s.source }
 
 // Snapshot captures the current monitoring view.
 func (s *Simulator) Snapshot() monitor.Snapshot {
@@ -557,6 +574,16 @@ func (s *Simulator) discard(task *model.Task, now int64) {
 		s.ctx.setTerminal(task.No, model.TaskDiscarded)
 		s.releaseChildren(task.No, now)
 	}
+	s.release(task)
+}
+
+// release returns a terminally-finished task to the source's free
+// list in streaming mode. Nothing in the simulator may touch the
+// pointer afterwards: the next arrival reuses the struct.
+func (s *Simulator) release(task *model.Task) {
+	if s.recycle != nil {
+		s.recycle.Release(task)
+	}
 }
 
 // handleCompletion is the paper's TaskCompletionProc: release the
@@ -584,6 +611,7 @@ func (s *Simulator) handleCompletion(task *model.Task, node *model.Node, now int
 		s.ctx.setTerminal(task.No, model.TaskCompleted)
 		s.releaseChildren(task.No, now)
 	}
+	s.release(task)
 	s.retrySuspended(node, now)
 	s.maybeDefrag(node)
 	s.maybeDrain(now)
@@ -704,6 +732,7 @@ func (s *Simulator) lose(task *model.Task, now int64) {
 		s.ctx.setTerminal(task.No, model.TaskLost)
 		s.releaseChildren(task.No, now)
 	}
+	s.release(task)
 }
 
 // nodeSummary is an O(1)-queryable digest of what a freed node can

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dreamsim/internal/model"
+	"dreamsim/internal/report"
+	"dreamsim/internal/workload"
+)
+
+// materialize drains the exact task stream a run of p would consume
+// into a SliceSource, giving the non-streamed reference input. The
+// drain uses its own Simulator, so the returned source is independent
+// of any run made with it.
+func materialize(t *testing.T, p Params) workload.TaskSource {
+	t.Helper()
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.SliceSource(workload.Drain(s.Source()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestStreamEquivalence is the determinism contract of the streaming
+// engine: with identical seeds, a streamed run (tasks recycled through
+// the generator's free list as they terminate) and a fully
+// materialized run (the whole workload drained up front into a
+// SliceSource) must produce byte-identical XML reports and deeply
+// equal Results — metrics, raw meter counters, phase census, final
+// snapshot. The RNG streams are covered transitively: any divergence
+// in draw order would shift workload or placement and break the
+// comparison.
+func TestStreamEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 0xDEADBEEF} {
+		for _, partial := range []bool{false, true} {
+			p := smallParams(40, 600, partial)
+			p.Seed = seed
+
+			streamed := p
+			streamed.Stream = true
+			sres := mustRun(t, streamed)
+
+			mat := p
+			mat.Source = materialize(t, p)
+			mres := mustRun(t, mat)
+
+			if !reflect.DeepEqual(sres, mres) {
+				t.Errorf("seed=%d partial=%v: streamed and materialized results diverged\nstreamed     %+v\nmaterialized %+v",
+					seed, partial, sres, mres)
+			}
+
+			var sx, mx bytes.Buffer
+			if err := report.WriteXML(&sx, sres.XML(p)); err != nil {
+				t.Fatal(err)
+			}
+			if err := report.WriteXML(&mx, mres.XML(p)); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sx.Bytes(), mx.Bytes()) {
+				t.Errorf("seed=%d partial=%v: XML reports not byte-identical", seed, partial)
+			}
+		}
+	}
+}
+
+// TestStreamRecyclesThroughGenerator proves the free list is actually
+// exercised: on a streamed overloaded run (suspensions force terminal
+// completions to interleave with pending arrivals) the generator must
+// hand out recycled task structs instead of allocating every one.
+func TestStreamRecyclesThroughGenerator(t *testing.T) {
+	p := smallParams(10, 400, true)
+	p.Stream = true
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, ok := s.Source().(*workload.Generator)
+	if !ok {
+		t.Fatalf("synthetic source is %T, want *workload.Generator", s.Source())
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Recycled() == 0 {
+		t.Fatal("streamed run never reused a released task")
+	}
+}
+
+// TestStreamIgnoredWithObserver pins the safety gate: an OnEvent
+// observer may retain task pointers, so Stream must not recycle under
+// it — and results still match the plain run.
+func TestStreamIgnoredWithObserver(t *testing.T) {
+	p := smallParams(20, 300, true)
+	plain := mustRun(t, p)
+
+	observed := p
+	observed.Stream = true
+	events := 0
+	observed.OnEvent = func(kind string, now int64, task *model.Task) { events++ }
+	ores := mustRun(t, observed)
+	if events == 0 {
+		t.Fatal("observer never fired")
+	}
+	if !reflect.DeepEqual(plain, ores) {
+		t.Error("streamed run under an observer diverged from the plain run")
+	}
+}

@@ -117,12 +117,15 @@ func GenResources(r *rng.RNG, p *Params) ([]*Resource, error) {
 // task goes to the resource finishing it earliest (GridSim-style
 // space sharing; no area constraints, any resource runs any task).
 // Task t_required is interpreted as work on the reference GPP.
-func Run(p Params, src workload.Source) (Result, error) {
+func Run(p Params, src workload.TaskSource) (Result, error) {
 	r := rng.New(p.Seed)
 	resources, err := GenResources(r, &p)
 	if err != nil {
 		return Result{}, err
 	}
+	// The baseline never retains a task past its scheduling decision,
+	// so pooled sources stream through in O(1) task memory.
+	recycle, _ := src.(workload.Recycler)
 	var res Result
 	for _, rsrc := range resources {
 		if rsrc.Reconfigurable {
@@ -149,6 +152,9 @@ func Run(p Params, src workload.Source) (Result, error) {
 		totalTurn += float64(bestFinish - task.CreateTime)
 		if bestFinish > res.Makespan {
 			res.Makespan = bestFinish
+		}
+		if recycle != nil {
+			recycle.Release(task)
 		}
 	}
 	if res.Tasks > 0 {

@@ -15,7 +15,9 @@ import (
 // environment lookup — silently couples units to scheduling order.
 //
 // Within the executor-driven packages (the root experiment engine,
-// internal/core, internal/exec, internal/gridsim), every argument of
+// internal/core, internal/exec, internal/gridsim, internal/workload —
+// the last because TaskSource implementations feed every unit its
+// input stream), every argument of
 // rng.New / (*rng.RNG).Seed must trace back to explicit seed inputs:
 // function parameters, fields or variables with "seed" in their name,
 // constants, derivations via (*rng.RNG) methods (Split, RandUint64),
@@ -28,7 +30,8 @@ var SeedFlow = &Analyzer{
 		return pkgPath == "dreamsim" ||
 			pathHasSuffix(pkgPath, "internal/core") ||
 			pathHasSuffix(pkgPath, "internal/exec") ||
-			pathHasSuffix(pkgPath, "internal/gridsim")
+			pathHasSuffix(pkgPath, "internal/gridsim") ||
+			pathHasSuffix(pkgPath, "internal/workload")
 	},
 	Run: runSeedFlow,
 }

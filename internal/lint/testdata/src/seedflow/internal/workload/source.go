@@ -1,0 +1,56 @@
+// Package workload is a seedflow fixture: its import path ends in
+// internal/workload, so TaskSource constructors here must build their
+// rng.RNG from explicit seed inputs — a source seeded from ambient
+// state would feed parallel sweep units different task streams
+// depending on scheduling order.
+package workload
+
+import "dreamsim/internal/rng"
+
+// sourceCounter is ambient state a TaskSource must never seed from.
+var sourceCounter uint64
+
+// GenParams mirrors the generator's configuration.
+type GenParams struct {
+	Seed  uint64
+	Tasks int
+}
+
+// Generator is a streaming task source over a seeded RNG.
+type Generator struct {
+	r    *rng.RNG
+	left int
+}
+
+// GoodNewSource derives the generator stream from the explicit seed.
+func GoodNewSource(p GenParams) *Generator {
+	root := rng.New(p.Seed)
+	return &Generator{r: rng.New(root.RandUint64()), left: p.Tasks}
+}
+
+// GoodReplicaSource offsets the seed per replica — pure arithmetic
+// over explicit inputs.
+func GoodReplicaSource(p GenParams, replica int) *Generator {
+	return &Generator{r: rng.New(p.Seed + uint64(replica)*0x9e3779b97f4a7c15), left: p.Tasks}
+}
+
+// BadCounterSource seeds each new source from a package counter, so
+// the task stream depends on construction order across units.
+func BadCounterSource(p GenParams) *Generator {
+	sourceCounter++
+	return &Generator{r: rng.New(sourceCounter), left: p.Tasks} // want `package-level variable "sourceCounter" is ambient state`
+}
+
+// BadDerivedSource launders ambient state through an unrecognised
+// helper.
+func BadDerivedSource(p GenParams) *Generator {
+	return &Generator{r: rng.New(mix(p.Seed)), left: p.Tasks} // want `call to mix is not a recognised seed derivation`
+}
+
+func mix(s uint64) uint64 { return s ^ sourceCounter }
+
+// JustifiedSource documents a deliberate exception.
+func JustifiedSource(p GenParams) *Generator {
+	//lint:seedflow fixture: ad-hoc smoke source, reproducibility waived
+	return &Generator{r: rng.New(sourceCounter), left: p.Tasks}
+}

@@ -63,7 +63,16 @@ type Task struct {
 
 // NewTask builds a task in the Created state with unset assignment.
 func NewTask(no int, neededArea Area, prefConfig int, requiredTime, createTime int64) *Task {
-	return &Task{
+	return new(Task).Init(no, neededArea, prefConfig, requiredTime, createTime)
+}
+
+// Init (re)initialises t exactly as NewTask would a fresh struct,
+// clearing every bookkeeping field from a previous life. It is the
+// reuse path of the task free lists (workload.Recycler): pooled
+// sources hand recycled structs through Init so a streamed run's
+// tasks are indistinguishable from freshly allocated ones.
+func (t *Task) Init(no int, neededArea Area, prefConfig int, requiredTime, createTime int64) *Task {
+	*t = Task{
 		No:             no,
 		NeededArea:     neededArea,
 		PrefConfig:     prefConfig,
@@ -74,6 +83,7 @@ func NewTask(no int, neededArea Area, prefConfig int, requiredTime, createTime i
 		CompletionTime: -1,
 		Status:         TaskCreated,
 	}
+	return t
 }
 
 // WaitTime returns t_wait = t_start − t_create + t_comm + t_config

@@ -23,6 +23,11 @@ type Sample struct {
 // Recorder collects periodic samples of system state — the
 // monitoring module's view over time. Observe is cheap relative to a
 // full Snapshot: one pass over the nodes.
+//
+// A plain recorder accumulates every sample (O(samples) memory, fine
+// for paper-scale runs). A windowed recorder (NewWindowRecorder)
+// instead folds samples into a rolling-window Aggregator the moment
+// they are taken, so cluster-scale runs keep O(window) memory.
 type Recorder struct {
 	// Every is the sampling stride: a sample is taken on every
 	// Every-th Observe call (minimum 1).
@@ -30,6 +35,7 @@ type Recorder struct {
 
 	calls   int
 	samples []Sample
+	agg     *Aggregator // non-nil in windowed (streaming) mode
 }
 
 // NewRecorder returns a recorder sampling every stride-th observation.
@@ -38,6 +44,48 @@ func NewRecorder(stride int) *Recorder {
 		stride = 1
 	}
 	return &Recorder{Every: stride}
+}
+
+// NewWindowRecorder returns a recorder in bounded-memory streaming
+// mode: every stride-th observation is folded into windows of the
+// given sample count instead of being retained. sink, when non-nil,
+// receives each closed WindowRow as the run progresses (the
+// incremental timeline). Samples() stays empty in this mode; use
+// Windows()/WindowsTotal() and FinishWindows().
+func NewWindowRecorder(stride, window int, sink func(WindowRow) error) *Recorder {
+	r := NewRecorder(stride)
+	r.agg = NewAggregator(window, sink)
+	return r
+}
+
+// Windowed reports whether the recorder aggregates instead of
+// retaining samples.
+func (r *Recorder) Windowed() bool { return r.agg != nil }
+
+// FinishWindows closes the final partial window and returns the first
+// sink error; a no-op on plain recorders.
+func (r *Recorder) FinishWindows() error {
+	if r.agg == nil {
+		return nil
+	}
+	return r.agg.Flush()
+}
+
+// Windows returns the retained closed rows (oldest first, bounded —
+// see Aggregator.Rows); nil on plain recorders.
+func (r *Recorder) Windows() []WindowRow {
+	if r.agg == nil {
+		return nil
+	}
+	return r.agg.Rows()
+}
+
+// WindowsTotal reports how many windows closed over the whole run.
+func (r *Recorder) WindowsTotal() int {
+	if r.agg == nil {
+		return 0
+	}
+	return r.agg.TotalRows()
 }
 
 // Observe possibly records a sample of the manager's state.
@@ -68,6 +116,10 @@ func (r *Recorder) Observe(m *resinfo.Manager, now int64, suspended int) {
 	}
 	if total > 0 {
 		s.Utilization = float64(used) / float64(total)
+	}
+	if r.agg != nil {
+		r.agg.Add(s)
+		return
 	}
 	r.samples = append(r.samples, s)
 }
@@ -101,24 +153,44 @@ var sparkGlyphs = []byte(" .:-=+*#%@")
 
 // Timeline renders utilisation and queue depth as width-column text
 // sparklines (each column aggregates the mean of its sample bucket).
+// In windowed mode the sparklines are drawn from the retained window
+// rows (one pseudo-sample per row, carrying the row means), so the
+// rendering stays bounded no matter how long the run was.
 func (r *Recorder) Timeline(width int) string {
+	samples := r.samples
+	if r.agg != nil {
+		rows := r.agg.Rows()
+		samples = make([]Sample, len(rows))
+		for i, row := range rows {
+			samples[i] = Sample{
+				Time:        row.End,
+				Utilization: row.Utilization.Mean,
+				Suspended:   int(row.Suspended.Mean + 0.5),
+			}
+		}
+	}
+	return renderTimeline(samples, width)
+}
+
+// renderTimeline draws the sparklines over an explicit sample series.
+func renderTimeline(samples []Sample, width int) string {
 	if width < 1 {
 		width = 60
 	}
-	if len(r.samples) == 0 {
+	if len(samples) == 0 {
 		return "(no samples)\n"
 	}
 	util := make([]float64, width)
 	queue := make([]float64, width)
 	counts := make([]int, width)
 	maxQ := 1.0
-	t0 := r.samples[0].Time
-	t1 := r.samples[len(r.samples)-1].Time
+	t0 := samples[0].Time
+	t1 := samples[len(samples)-1].Time
 	span := t1 - t0
 	if span < 1 {
 		span = 1
 	}
-	for _, s := range r.samples {
+	for _, s := range samples {
 		col := int(int64(width-1) * (s.Time - t0) / span)
 		util[col] += s.Utilization
 		queue[col] += float64(s.Suspended)
@@ -140,7 +212,7 @@ func (r *Recorder) Timeline(width int) string {
 		qb.WriteByte(glyph(q))
 	}
 	return fmt.Sprintf("fabric utilization |%s|\nsuspension queue   |%s| (peak %d)\nticks %d..%d, %d samples\n",
-		ub.String(), qb.String(), int(maxQ), t0, t1, len(r.samples))
+		ub.String(), qb.String(), int(maxQ), t0, t1, len(samples))
 }
 
 // glyph maps level in [0,1] to a density character.

@@ -92,18 +92,32 @@ func drawCaps(r *rng.RNG, kinds []string, prob float64) []string {
 	return out
 }
 
-// Source yields the task arrival stream of a run. Implementations:
-// *Generator (synthetic) and *TraceReader (recorded workloads).
-type Source interface {
+// TaskSource yields the task arrival stream of a run, one task at a
+// time — the streaming contract that keeps simulation memory bounded
+// by the live task set rather than the workload size. Implementations:
+// *Generator (synthetic), *TraceReader (recorded workloads) and the
+// SliceSource replay wrapper. Sources that additionally implement
+// Recycler hand out pooled task structs.
+type TaskSource interface {
 	// Next returns the next task in arrival order, or ok=false when
 	// the stream is exhausted. Tasks arrive with CreateTime set and
 	// strictly non-decreasing.
 	Next() (task *model.Task, ok bool)
 }
 
+// Source is the TaskSource interface's original name, kept as an
+// alias for existing call sites.
+type Source = TaskSource
+
 // Generator synthesises the task stream (the paper's CreateTask /
-// job submission manager). It is deterministic given its RNG.
+// job submission manager). It is deterministic given its RNG, and it
+// is lazy: each Next draws exactly one task, so a million-task
+// workload never exists in memory at once. It is the single synthetic
+// generation code path — materialized workloads are expressed over it
+// (Drain + SliceSource), never drawn by separate logic, so streamed
+// and materialized runs cannot drift.
 type Generator struct {
+	taskPool
 	spec    *Spec
 	r       *rng.RNG
 	configs []*model.Config
@@ -131,7 +145,7 @@ func NewGenerator(r *rng.RNG, spec *Spec, configs []*model.Config) (*Generator, 
 // Emitted reports how many tasks have been produced so far.
 func (g *Generator) Emitted() int { return g.emitted }
 
-// Next implements Source.
+// Next implements TaskSource.
 func (g *Generator) Next() (*model.Task, bool) {
 	if g.emitted >= g.spec.Tasks {
 		return nil, false
@@ -158,7 +172,7 @@ func (g *Generator) Next() (*model.Task, bool) {
 		prefNo = cfg.No
 		needed = cfg.ReqArea
 	}
-	task := model.NewTask(no, needed, prefNo, g.reqTime(), g.now)
+	task := g.get(no, needed, prefNo, g.reqTime(), g.now)
 	task.Data = needed * 64 // synthetic input payload, feeds the optional data-transfer model
 	return task, true
 }
@@ -207,8 +221,11 @@ func (g *Generator) gap() int64 {
 	}
 }
 
-// Drain pulls every remaining task from src into a slice.
-func Drain(src Source) []*model.Task {
+// Drain pulls every remaining task from src into a slice — the
+// explicit materialization point. Everything downstream of a Drain is
+// O(tasks) in memory; streamed consumers iterate the TaskSource
+// directly instead.
+func Drain(src TaskSource) []*model.Task {
 	var out []*model.Task
 	for {
 		task, ok := src.Next()
@@ -219,9 +236,9 @@ func Drain(src Source) []*model.Task {
 	}
 }
 
-// SliceSource replays a pre-built task list as a Source. The tasks
-// must be valid and ordered by non-decreasing CreateTime.
-func SliceSource(tasks []*model.Task) (Source, error) {
+// SliceSource replays a pre-built task list as a TaskSource. The
+// tasks must be valid and ordered by non-decreasing CreateTime.
+func SliceSource(tasks []*model.Task) (TaskSource, error) {
 	for i, t := range tasks {
 		if err := t.Validate(); err != nil {
 			return nil, err
@@ -238,7 +255,7 @@ type sliceSource struct {
 	next  int
 }
 
-// Next implements Source.
+// Next implements TaskSource.
 func (s *sliceSource) Next() (*model.Task, bool) {
 	if s.next >= len(s.tasks) {
 		return nil, false

@@ -23,11 +23,24 @@ const traceHeader = "# dreamsim-trace v1"
 
 // WriteTrace serialises tasks to w in arrival order.
 func WriteTrace(w io.Writer, tasks []*model.Task) error {
+	return WriteTraceFrom(w, &sliceSource{tasks: tasks})
+}
+
+// WriteTraceFrom streams src to w one task at a time — trace capture
+// in O(1) memory, never materializing the workload. When src is a
+// Recycler each task is released back to its free list as soon as its
+// line is written, so even million-task captures reuse one struct.
+func WriteTraceFrom(w io.Writer, src TaskSource) error {
+	recycle, _ := src.(Recycler)
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, traceHeader); err != nil {
 		return err
 	}
-	for _, t := range tasks {
+	for {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
 		if err := t.Validate(); err != nil {
 			return fmt.Errorf("workload: refusing to write invalid task: %w", err)
 		}
@@ -35,12 +48,19 @@ func WriteTrace(w io.Writer, tasks []*model.Task) error {
 			t.No, t.CreateTime, t.RequiredTime, t.PrefConfig, t.NeededArea, t.Data); err != nil {
 			return err
 		}
+		if recycle != nil {
+			recycle.Release(t)
+		}
+	}
+	if tr, isTrace := src.(*TraceReader); isTrace && tr.Err() != nil {
+		return tr.Err()
 	}
 	return bw.Flush()
 }
 
-// TraceReader replays a trace as a Source.
+// TraceReader replays a trace as a TaskSource.
 type TraceReader struct {
+	taskPool
 	sc       *bufio.Scanner
 	line     int
 	lastTime int64
@@ -58,8 +78,8 @@ func NewTraceReader(r io.Reader) *TraceReader {
 // Err returns the first parse error encountered, if any.
 func (tr *TraceReader) Err() error { return tr.err }
 
-// Next implements Source. On malformed input it stops the stream and
-// records the error on Err.
+// Next implements TaskSource. On malformed input it stops the stream
+// and records the error on Err.
 func (tr *TraceReader) Next() (*model.Task, bool) {
 	if tr.err != nil {
 		return nil, false
@@ -93,7 +113,7 @@ func (tr *TraceReader) Next() (*model.Task, bool) {
 			return nil, false
 		}
 		tr.lastTime = create
-		task := model.NewTask(no, area, int(prefcfg), required, create)
+		task := tr.get(no, area, int(prefcfg), required, create)
 		task.Data = data
 		if err := task.Validate(); err != nil {
 			tr.fail("line %d: %v", tr.line, err)

@@ -1,0 +1,174 @@
+package dreamsim_test
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"dreamsim"
+	"dreamsim/internal/monitor"
+)
+
+// TestStreamRunEquivalence is the public half of the streaming
+// engine's determinism contract: with identical seeds, Run with
+// Stream on and off must produce deeply equal Results and
+// byte-identical XML reports at every pre-existing scale and in both
+// reconfiguration scenarios.
+func TestStreamRunEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 5} {
+		for _, partial := range []bool{false, true} {
+			for _, tasks := range []int{500, 1500} {
+				p := dreamsim.DefaultParams()
+				p.Nodes = 60
+				p.Tasks = tasks
+				p.PartialReconfig = partial
+				p.Seed = seed
+
+				plain, err := dreamsim.Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.Stream = true
+				streamed, err := dreamsim.Run(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(plain, streamed) {
+					t.Errorf("seed=%d partial=%v tasks=%d: streamed result diverged\nplain    %+v\nstreamed %+v",
+						seed, partial, tasks, plain, streamed)
+				}
+				var px, sx bytes.Buffer
+				if err := plain.WriteXML(&px); err != nil {
+					t.Fatal(err)
+				}
+				if err := streamed.WriteXML(&sx); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(px.Bytes(), sx.Bytes()) {
+					t.Errorf("seed=%d partial=%v tasks=%d: XML reports not byte-identical",
+						seed, partial, tasks)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamCompareWorkerEquivalence covers the fan-out surface:
+// Compare (both scenarios over identical inputs) must return the same
+// pair streamed or not, sequentially or with concurrent workers.
+func TestStreamCompareWorkerEquivalence(t *testing.T) {
+	p := dreamsim.DefaultParams()
+	p.Nodes = 50
+	p.Tasks = 800
+	fullRef, partRef, err := dreamsim.Compare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		sp := p
+		sp.Stream = true
+		sp.Parallelism = workers
+		full, part, err := dreamsim.Compare(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fullRef, full) || !reflect.DeepEqual(partRef, part) {
+			t.Errorf("workers=%d: streamed Compare diverged from the sequential plain reference", workers)
+		}
+	}
+}
+
+// TestWindowedAggregatesMatchFullHistory runs the same simulation
+// twice — once retaining the full monitoring series, once with
+// rolling-window aggregation — and checks every window row equals the
+// reduction of the corresponding full-history chunk.
+func TestWindowedAggregatesMatchFullHistory(t *testing.T) {
+	const window = 32
+	p := dreamsim.DefaultParams()
+	p.Nodes = 30
+	p.Tasks = 400
+	p.PartialReconfig = true
+	p.SampleEvery = 1
+
+	plain, err := dreamsim.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Timeline) == 0 {
+		t.Fatal("plain run recorded no samples")
+	}
+
+	p.WindowSamples = window
+	windowed, err := dreamsim.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windowed.Timeline) != 0 {
+		t.Fatal("windowed run retained raw samples")
+	}
+	wantRows := (len(plain.Timeline) + window - 1) / window
+	if windowed.WindowsTotal != wantRows || len(windowed.Windows) != wantRows {
+		t.Fatalf("windowed run closed %d rows (retained %d), want %d for %d samples",
+			windowed.WindowsTotal, len(windowed.Windows), wantRows, len(plain.Timeline))
+	}
+
+	for i := 0; i < wantRows; i++ {
+		lo := i * window
+		hi := lo + window
+		if hi > len(plain.Timeline) {
+			hi = len(plain.Timeline)
+		}
+		chunk := make([]monitor.Sample, 0, hi-lo)
+		for _, pt := range plain.Timeline[lo:hi] {
+			chunk = append(chunk, monitor.Sample{
+				Time:        pt.Time,
+				Running:     pt.RunningTasks,
+				Suspended:   pt.Suspended,
+				WastedArea:  pt.WastedArea,
+				Utilization: pt.Utilization,
+			})
+		}
+		want := monitor.Reduce(chunk)
+		got := windowed.Windows[i]
+		if got.Start != want.Start || got.End != want.End || got.Samples != want.Samples ||
+			got.Utilization != publicStat(want.Utilization) ||
+			got.Running != publicStat(want.Running) ||
+			got.Suspended != publicStat(want.Suspended) ||
+			got.WastedArea != publicStat(want.WastedArea) {
+			t.Errorf("window %d: streamed aggregate %+v != full-history reduction %+v", i, got, want)
+		}
+	}
+}
+
+func publicStat(s monitor.WindowStat) dreamsim.WindowStat {
+	return dreamsim.WindowStat{Min: s.Min, Max: s.Max, Mean: s.Mean, P99: s.P99}
+}
+
+// TestStreamedTimelineCSV exercises the incremental timeline writer
+// end to end: a streamed run with TimelinePath must leave a CSV whose
+// row count matches the run's closed windows.
+func TestStreamedTimelineCSV(t *testing.T) {
+	path := t.TempDir() + "/timeline.csv"
+	p := dreamsim.DefaultParams()
+	p.Nodes = 30
+	p.Tasks = 300
+	p.PartialReconfig = true
+	p.SampleEvery = 1
+	p.WindowSamples = 16
+	p.Stream = true
+	p.TimelinePath = path
+
+	res, err := dreamsim.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(data, []byte("\n"))
+	if lines != res.WindowsTotal+1 { // header + one line per closed window
+		t.Fatalf("timeline CSV has %d lines, want %d windows + header", lines, res.WindowsTotal)
+	}
+}
