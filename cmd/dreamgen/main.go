@@ -25,6 +25,7 @@ func main() {
 		poisson  = flag.Bool("poisson", false, "Poisson arrivals")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		out      = flag.String("out", "", "output trace path (default stdout)")
+		scenario = flag.String("scenario", "", "generate the task stream of this workload scenario file")
 		inspect  = flag.String("inspect", "", "inspect an existing trace instead of generating")
 		swfIn    = flag.String("swf", "", "convert a Standard Workload Format log into a dreamsim trace")
 		swfScale = flag.Int64("swf-ticks-per-sec", 1, "timeticks per SWF second")
@@ -48,6 +49,19 @@ func main() {
 	p.NextTaskMaxInterval = *interval
 	p.PoissonArrivals = *poisson
 	p.Seed = *seed
+	if *scenario != "" {
+		scn, err := dreamsim.LoadScenario(*scenario)
+		fail(err)
+		p.ScenarioText = scn.Text
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["tasks"] {
+			p.Tasks = 0
+		}
+		if !explicit["interval"] {
+			p.NextTaskMaxInterval = 0
+		}
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -58,7 +72,7 @@ func main() {
 	}
 	fail(dreamsim.GenerateTrace(w, p))
 	if *out != "" {
-		fmt.Printf("wrote %d tasks to %s\n", *tasks, *out)
+		fmt.Printf("wrote tasks to %s\n", *out)
 	}
 }
 

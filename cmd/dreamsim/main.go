@@ -39,6 +39,7 @@ func main() {
 		tickStep    = flag.Bool("tick-step", false, "paper-literal tick-by-tick clock")
 		xmlOut      = flag.String("xml", "", "write the XML simulation report to this file")
 		tracePath   = flag.String("trace", "", "read the task stream from this trace file")
+		scenario    = flag.String("scenario", "", "read a workload scenario (dreamsim-scenario v1) from this file")
 		phases      = flag.Bool("phases", false, "print the per-phase placement census")
 		timeline    = flag.Bool("timeline", false, "print utilization/queue sparklines over the run")
 		replicate   = flag.Int("replicate", 0, "replicate the run over N seeds and print metric statistics")
@@ -89,6 +90,21 @@ func main() {
 	if *timeline || *window > 0 || *timelineOut != "" {
 		p.SampleEvery = 1
 	}
+	if *scenario != "" {
+		scn, err := dreamsim.LoadScenario(*scenario)
+		fail(err)
+		p.ScenarioText = scn.Text
+		// A scenario's tasks/interval lines govern unless the matching
+		// flag was given explicitly on the command line.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["tasks"] {
+			p.Tasks = 0
+		}
+		if !explicit["interval"] {
+			p.NextTaskMaxInterval = 0
+		}
+	}
 
 	if *replicate > 0 {
 		stats, err := dreamsim.RunReplicated(p, dreamsim.Seeds(p.Seed, *replicate))
@@ -104,7 +120,9 @@ func main() {
 	if *compare {
 		full, part, err := dreamsim.Compare(p)
 		fail(err)
-		fmt.Printf("nodes=%d tasks=%d seed=%d\n\n", p.Nodes, p.Tasks, p.Seed)
+		// full.TotalTasks, not p.Tasks: the count may come from a
+		// scenario file rather than the flag.
+		fmt.Printf("nodes=%d tasks=%d seed=%d\n\n", p.Nodes, full.TotalTasks, p.Seed)
 		fmt.Print(dreamsim.CompareTable(full, part))
 		if *phases {
 			printPhases("full", full)

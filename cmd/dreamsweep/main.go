@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"dreamsim"
 )
@@ -36,6 +37,8 @@ func main() {
 		fastSearch = flag.Bool("fast-search", false, "use the indexed resource-search fast path (identical results and counters)")
 		stream     = flag.Bool("stream", false, "bounded-memory streaming engine in every cell (identical results; heap stops scaling with task count)")
 		window     = flag.Int("window", 0, "monitoring samples per rolling aggregation window when cells sample (0 = streamed default)")
+		scenario   = flag.String("scenario", "", "apply this workload scenario file to every sweep cell")
+		scenarios  = flag.String("scenarios", "", "comma-separated scenario files: sweep both reconfiguration methods over each (scenario-set mode)")
 
 		faultCrashRate  = flag.Float64("fault-crash-rate", 0, "mean random node crashes per timetick in every cell (0 = off)")
 		faultDowntime   = flag.Float64("fault-downtime", 0, "mean downtime of randomly crashed nodes, in timeticks")
@@ -91,6 +94,16 @@ func main() {
 	base.FaultRetryBudget = *faultRetries
 	grid := dreamsim.ScaledTaskCounts(*scale)
 
+	if *scenarios != "" {
+		runScenarioSet(base, *scenarios)
+		return
+	}
+	if *scenario != "" {
+		scn, err := dreamsim.LoadScenario(*scenario)
+		fail(err)
+		base.ScenarioText = scn.Text
+	}
+
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			fail(err)
@@ -141,6 +154,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dreamsweep: some figure shapes were NOT reproduced")
 		flushProfiles()
 		os.Exit(2)
+	}
+}
+
+// runScenarioSet sweeps both reconfiguration methods over each listed
+// scenario file and prints a side-by-side comparison per scenario.
+func runScenarioSet(base dreamsim.Params, list string) {
+	var set []dreamsim.NamedScenario
+	for _, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		scn, err := dreamsim.LoadScenario(path)
+		fail(err)
+		set = append(set, scn)
+	}
+	base.Tasks = 0 // each scenario's own task count governs
+	cells, err := dreamsim.RunScenarioSet(base, set, func(c dreamsim.ScenarioCell) {
+		fmt.Fprintf(os.Stderr, "scenario done: %s\n", c.Name)
+	})
+	fail(err)
+	for _, c := range cells {
+		fmt.Printf("scenario %s (tasks=%d seed=%d)\n\n", c.Name, c.Full.TotalTasks, c.Full.Seed)
+		fmt.Print(dreamsim.CompareTable(c.Full, c.Partial))
+		if len(c.Partial.Classes) > 0 {
+			fmt.Println("\nper-class (partial):")
+			for _, cs := range c.Partial.Classes {
+				fmt.Printf("  %-16s generated=%-8d completed=%-8d avg_wait=%-12.2f avg_run=%.2f\n",
+					cs.Name, cs.Generated, cs.Completed, cs.AvgWaitingTime, cs.AvgRunningTime)
+			}
+		}
+		fmt.Println()
 	}
 }
 

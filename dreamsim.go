@@ -196,6 +196,17 @@ type Params struct {
 	// default; 1 forces the index regardless of population size.
 	// Ignored unless FastSearch is set.
 	FastSearchCutoff int
+
+	// ScenarioText, when non-empty, is a scenario specification in the
+	// "dreamsim-scenario v1" format (see README): multiple traffic
+	// classes, bursty gamma/weibull arrivals, a load-pattern timeline
+	// and scheduled events (spikes, maintenance windows, fault storms).
+	// The scenario's task count and interval override Tasks /
+	// NextTaskMaxInterval when set; every other knob keeps its meaning.
+	// Use LoadScenario to read one from a file. A scenario that merely
+	// restates the flag surface produces byte-identical reports to the
+	// equivalent flag run.
+	ScenarioText string
 }
 
 // DefaultParams returns the paper's Table II parameter values with
@@ -315,6 +326,20 @@ func (p Params) coreParams() (core.Params, error) {
 		BackoffBase: p.FaultBackoffBase,
 		BackoffCap:  p.FaultBackoffCap,
 	}
+	if p.ScenarioText != "" {
+		scn, serr := workload.ParseScenario(p.ScenarioText)
+		if serr != nil {
+			return core.Params{}, serr
+		}
+		if serr := scn.Validate(); serr != nil {
+			return core.Params{}, serr
+		}
+		scn.ApplyDefaults(&cp.Spec)
+		if cp.Spec.Tasks <= 0 {
+			return core.Params{}, fmt.Errorf("dreamsim: scenario sets no task count and Params.Tasks is zero")
+		}
+		cp.Scenario = scn
+	}
 	return cp, cp.Validate()
 }
 
@@ -369,9 +394,26 @@ type Result struct {
 	Windows      []TimelineWindow
 	WindowsTotal int
 
+	// Classes is the per-traffic-class breakdown of a multi-class
+	// scenario run (Params.ScenarioText with two or more classes); nil
+	// otherwise, so single-class serialised results are unchanged.
+	Classes []ClassStat `json:",omitempty"`
+
 	rep          metrics.Report
 	xml          report.Simulation
+	classRows    []metrics.ClassStats
 	timelineText string
+}
+
+// ClassStat is one traffic class's slice of a multi-class run.
+type ClassStat struct {
+	Name           string
+	Generated      int64
+	Completed      int64
+	Discarded      int64 `json:",omitempty"`
+	Lost           int64 `json:",omitempty"`
+	AvgWaitingTime float64
+	AvgRunningTime float64
 }
 
 // TimelinePoint is one monitoring sample of a run's time series.
@@ -391,14 +433,16 @@ type WindowStat struct {
 
 // TimelineWindow is one closed rolling-window aggregate of the
 // monitoring series: the tick span its samples covered and the
-// per-metric stats.
+// per-metric stats. ClassRunning carries one Running-style stat per
+// traffic class on multi-class scenario runs; nil otherwise.
 type TimelineWindow struct {
-	Start, End  int64
-	Samples     int
-	Utilization WindowStat
-	Running     WindowStat
-	Suspended   WindowStat
-	WastedArea  WindowStat
+	Start, End   int64
+	Samples      int
+	Utilization  WindowStat
+	Running      WindowStat
+	Suspended    WindowStat
+	WastedArea   WindowStat
+	ClassRunning []WindowStat `json:",omitempty"`
 }
 
 // DefaultWindowSamples is the windowed-monitoring default: samples
@@ -447,6 +491,9 @@ func runScratch(p Params, scratch *core.RunContext) (Result, error) {
 			rec = monitor.NewWindowRecorder(p.SampleEvery, window, sink)
 		default:
 			rec = monitor.NewRecorder(p.SampleEvery)
+		}
+		if cp.Scenario != nil && cp.Scenario.MultiClass() {
+			rec.Classes = len(cp.Scenario.Classes)
 		}
 		cp.Recorder = rec
 	}
@@ -503,7 +550,7 @@ func publicWindow(row monitor.WindowRow) TimelineWindow {
 	stat := func(s monitor.WindowStat) WindowStat {
 		return WindowStat{Min: s.Min, Max: s.Max, Mean: s.Mean, P99: s.P99}
 	}
-	return TimelineWindow{
+	out := TimelineWindow{
 		Start:       row.Start,
 		End:         row.End,
 		Samples:     row.Samples,
@@ -512,6 +559,10 @@ func publicWindow(row monitor.WindowRow) TimelineWindow {
 		Suspended:   stat(row.Suspended),
 		WastedArea:  stat(row.WastedArea),
 	}
+	for _, cs := range row.ClassRunning {
+		out.ClassRunning = append(out.ClassRunning, stat(cs))
+	}
+	return out
 }
 
 // RunTrace executes one simulation with the task stream read from a
@@ -571,7 +622,7 @@ func Compare(p Params) (full, partial Result, err error) {
 // wrap converts an engine result to the public form.
 func wrap(res *core.Result, cp core.Params) Result {
 	r := res.Report
-	return Result{
+	out := Result{
 		AvgWastedAreaPerTask:      r.AvgWastedAreaPerTask,
 		AvgRunningTimePerTask:     r.AvgRunningTimePerTask,
 		AvgReconfigCountPerNode:   r.AvgReconfigCountPerNode,
@@ -600,11 +651,28 @@ func wrap(res *core.Result, cp core.Params) Result {
 		Seed:                      res.Seed,
 		rep:                       r,
 		xml:                       res.XML(cp),
+		classRows:                 res.Classes,
 	}
+	for _, c := range res.Classes {
+		out.Classes = append(out.Classes, ClassStat{
+			Name:           c.Name,
+			Generated:      c.Generated,
+			Completed:      c.Completed,
+			Discarded:      c.Discarded,
+			Lost:           c.Lost,
+			AvgWaitingTime: c.AvgWaitingTime,
+			AvgRunningTime: c.AvgRunningTime,
+		})
+	}
+	return out
 }
 
-// TableI renders the run's Table I metrics as a text table.
-func (r Result) TableI() string { return report.TableIText(r.rep) }
+// TableI renders the run's Table I metrics as a text table; on
+// multi-class scenario runs a per-class block follows the paper's
+// rows.
+func (r Result) TableI() string {
+	return report.TableIText(r.rep) + report.ClassTableText(r.classRows)
+}
 
 // WriteXML emits the run's XML simulation report (output subsystem).
 func (r Result) WriteXML(w io.Writer) error { return report.WriteXML(w, r.xml) }

@@ -49,6 +49,13 @@ type Params struct {
 	// arrival stream, e.g. a trace (optional). Spec still generates
 	// nodes and configurations.
 	Source workload.TaskSource
+	// Scenario, when set, compiles the declarative scenario (traffic
+	// classes, bursty arrivals, load timelines, scheduled events) onto
+	// the task source and fault schedule. Spec still governs resource
+	// generation and the resolved task count/interval (the public
+	// layer folds the scenario's tasks/interval lines into an unset
+	// Spec via ApplyDefaults). Ignored when Source is set.
+	Scenario *workload.Scenario
 	// Stream enables the bounded-memory streaming discipline: every
 	// task whose lifecycle has terminally ended (completed, discarded
 	// or lost) is released back to the source's free list (when the
@@ -136,6 +143,11 @@ func (p *Params) Validate() error {
 	if err := p.Retry.Validate(); err != nil {
 		return err
 	}
+	if p.Scenario != nil {
+		if err := p.Scenario.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -150,10 +162,14 @@ type Simulator struct {
 	recycle workload.Recycler // non-nil only in streaming mode (Params.Stream)
 	sus     *reslists.SusQueue
 	c       *metrics.Counters
-	ran     bool
-	arrDone bool
-	depsOn  bool // precedence constraints active (Params.Deps non-empty)
-	err     error
+	// Per-traffic-class accounting, parallel slices indexed by
+	// model.Task.Class; nil unless the source declares >= 2 classes.
+	classNames []string
+	classAcc   []metrics.ClassCounters
+	ran        bool
+	arrDone    bool
+	depsOn     bool // precedence constraints active (Params.Deps non-empty)
+	err        error
 
 	// Pre-bound event handlers: allocated once per run so scheduling
 	// an event is allocation-free (payloads ride in the event's A/B
@@ -206,11 +222,19 @@ func New(params Params) (*Simulator, error) {
 
 	source := params.Source
 	if source == nil {
-		gen, err := workload.NewGenerator(taskR, &params.Spec, configs)
-		if err != nil {
-			return nil, err
+		if params.Scenario != nil {
+			src, err := workload.NewScenarioSource(taskR, params.Scenario, &params.Spec, configs)
+			if err != nil {
+				return nil, err
+			}
+			source = src
+		} else {
+			gen, err := workload.NewGenerator(taskR, &params.Spec, configs)
+			if err != nil {
+				return nil, err
+			}
+			source = gen
 		}
-		source = gen
 	}
 	policy := params.Policy
 	if policy == nil {
@@ -219,6 +243,17 @@ func New(params Params) (*Simulator, error) {
 			opts.RNG = root.Split()
 		}
 		policy = sched.New(opts)
+	}
+
+	// Scheduled scenario events (maintenance windows, fault storms)
+	// lower onto the fault plan's script. The storm-victim RNG splits
+	// only when such events exist, and after every legacy stream, so
+	// event-free runs draw exactly the pre-scenario sequences.
+	plan := params.Faults
+	if params.Scenario != nil && params.Scenario.HasFaultEvents() {
+		stormR := root.Split()
+		script := params.Scenario.FaultEvents(stormR, len(nodes))
+		plan.Script = append(append([]fault.Event(nil), plan.Script...), script...)
 	}
 
 	ctx := params.Scratch
@@ -236,7 +271,7 @@ func New(params Params) (*Simulator, error) {
 			}
 		}
 	}
-	ctx.prepare(len(nodes), len(configs), depMax, params.Faults.Enabled())
+	ctx.prepare(len(nodes), len(configs), depMax, plan.Enabled())
 
 	s := &Simulator{
 		params: params,
@@ -253,6 +288,14 @@ func New(params Params) (*Simulator, error) {
 		// free list. Sources without a free list (SliceSource) simply
 		// keep the non-recycled behaviour.
 		s.recycle, _ = source.(workload.Recycler)
+	}
+	if cs, ok := source.(workload.ClassedSource); ok {
+		// Per-class accounting exists only on genuinely multi-class
+		// runs; single-class sources keep the legacy result shape.
+		if names := cs.ClassNames(); len(names) > 1 {
+			s.classNames = names
+			s.classAcc = make([]metrics.ClassCounters, len(names))
+		}
 	}
 	s.bindHandlers()
 	if len(params.Deps) > 0 {
@@ -272,13 +315,13 @@ func New(params Params) (*Simulator, error) {
 		}
 	}
 	s.eng.TickStep = params.TickStep
-	if params.Faults.Enabled() {
+	if plan.Enabled() {
 		// The fault RNG is split only on faulty runs, after every other
 		// stream, so fault-free runs draw exactly the same sequences as
 		// builds without the subsystem.
 		s.retry = params.Retry.WithDefaults()
 		s.faultsOn = true
-		inj, err := fault.NewInjector(params.Faults, root.Split(), s.eng, faultTarget{s})
+		inj, err := fault.NewInjector(plan, root.Split(), s.eng, faultTarget{s})
 		if err != nil {
 			return nil, err
 		}
@@ -381,15 +424,30 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.params.Partial {
 		scenario = "partial"
 	}
+	final := monitor.Take(s.mgr, s.eng.Now())
+	if s.classAcc != nil {
+		final = monitor.TakeClassed(s.mgr, s.eng.Now(), len(s.classAcc))
+	}
 	return &Result{
 		Report:   metrics.Compute(s.c),
 		Counters: *s.c,
+		Classes:  metrics.ComputeClasses(s.classNames, s.classAcc),
 		Phases:   s.ctx.phasesMap(),
 		Policy:   s.policy.Name(),
 		Scenario: scenario,
 		Seed:     s.params.Seed,
-		Final:    monitor.Take(s.mgr, s.eng.Now()),
+		Final:    final,
 	}, nil
+}
+
+// classAccOf returns the task's per-class accumulator, or nil when
+// per-class accounting is off (or the index is out of range, which a
+// custom Source could produce).
+func (s *Simulator) classAccOf(task *model.Task) *metrics.ClassCounters {
+	if s.classAcc == nil || task.Class < 0 || task.Class >= len(s.classAcc) {
+		return nil
+	}
+	return &s.classAcc[task.Class]
 }
 
 // scheduleNextArrival pulls the next task from the source and queues
@@ -418,6 +476,9 @@ func (s *Simulator) handleArrival(task *model.Task, now int64) {
 		return
 	}
 	s.c.GeneratedTasks++
+	if ca := s.classAccOf(task); ca != nil {
+		ca.Generated++
+	}
 	s.emit("arrival", now, task)
 	s.scheduleNextArrival()
 
@@ -523,6 +584,9 @@ func (s *Simulator) place(task *model.Task, d sched.Decision, now int64) {
 	task.CommDelay = commDelay
 	task.ConfigDelay = cfgDelay
 	s.c.TaskWaitTime += task.WaitTime() // Eq. 8/9
+	if ca := s.classAccOf(task); ca != nil {
+		ca.WaitTime += task.WaitTime()
+	}
 
 	// Eq. 6/7 accumulation: the fabric left unusable beside the task
 	// just placed (see DESIGN.md "wasted-area accounting").
@@ -568,6 +632,9 @@ func (s *Simulator) failReconfig(task *model.Task, d sched.Decision, now int64) 
 func (s *Simulator) discard(task *model.Task, now int64) {
 	task.Status = model.TaskDiscarded
 	s.c.DiscardedTasks++
+	if ca := s.classAccOf(task); ca != nil {
+		ca.Discarded++
+	}
 	s.ctx.phases[phaseDiscard]++
 	s.emit("discard", now, task)
 	if s.depsOn {
@@ -605,6 +672,10 @@ func (s *Simulator) handleCompletion(task *model.Task, node *model.Node, now int
 	s.c.CompletedTasks++
 	s.c.RunningTasks--
 	s.c.TaskRunningTime += task.TurnaroundTime()
+	if ca := s.classAccOf(task); ca != nil {
+		ca.Completed++
+		ca.RunTime += task.TurnaroundTime()
+	}
 	s.emit("complete", now, task)
 
 	if s.depsOn {
@@ -726,6 +797,9 @@ func (s *Simulator) requeue(task *model.Task, now int64) {
 func (s *Simulator) lose(task *model.Task, now int64) {
 	task.Status = model.TaskLost
 	s.c.LostTasks++
+	if ca := s.classAccOf(task); ca != nil {
+		ca.Lost++
+	}
 	s.ctx.phases[phaseLost]++
 	s.emit("lost", now, task)
 	if s.depsOn {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"dreamsim/internal/fault"
 	"dreamsim/internal/metrics"
@@ -17,6 +18,10 @@ type Result struct {
 	Report metrics.Report
 	// Counters is a copy of the raw accumulators.
 	Counters metrics.Counters
+	// Classes is the per-traffic-class breakdown of a multi-class
+	// scenario run; nil otherwise, keeping single-class results (and
+	// their serialised forms) unchanged.
+	Classes []metrics.ClassStats
 	// Phases counts placements per scheduling phase ("allocate",
 	// "configure", "partial-configure", "reconfigure") plus
 	// "suspend", "discard" and "closest-match" occurrences.
@@ -57,5 +62,26 @@ func (r *Result) XML(params Params) report.Simulation {
 			echo["fault_script"] = fault.FormatScript(params.Faults.Script)
 		}
 	}
-	return report.New(r.Scenario, r.Policy, r.Seed, echo, r.Report, r.Phases)
+	// Scenario parameters are echoed only on genuinely multi-class
+	// runs (r.Classes is nil otherwise): a scenario restating the flag
+	// surface must report byte-identically to the flag run.
+	if params.Scenario != nil && len(r.Classes) > 0 {
+		if params.Scenario.Name != "" {
+			echo["scenario"] = params.Scenario.Name
+		}
+		names := make([]string, len(r.Classes))
+		for i := range r.Classes {
+			names[i] = r.Classes[i].Name
+		}
+		echo["scenario_classes"] = strings.Join(names, ",")
+		if n := len(params.Scenario.Timeline); n > 0 {
+			echo["scenario_timeline_points"] = fmt.Sprint(n)
+		}
+		if n := len(params.Scenario.Events); n > 0 {
+			echo["scenario_events"] = fmt.Sprint(n)
+		}
+	}
+	sim := report.New(r.Scenario, r.Policy, r.Seed, echo, r.Report, r.Phases)
+	sim.Metrics = append(sim.Metrics, report.ClassMetricRows(r.Classes)...)
+	return sim
 }

@@ -18,6 +18,14 @@ func Bad() int64 {
 	return start.UnixNano()
 }
 
+// BadEventDue decides a scheduled scenario event's firing against the
+// host clock instead of the simulated tick counter — the exact bug
+// that would make spike/maintenance/storm windows land on different
+// ticks from run to run.
+func BadEventDue(startTick int64) bool {
+	return time.Now().Unix() >= startTick // want `time.Now in simulation code`
+}
+
 // Justified carries an explicit exception and stays silent.
 func Justified() time.Time {
 	//lint:detrand fixture: log timestamps are wall-clock by design

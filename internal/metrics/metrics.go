@@ -61,6 +61,59 @@ func (c *Counters) TotalSchedulerWorkload() uint64 {
 	return c.SchedulerSearch + c.HousekeepingSteps
 }
 
+// ClassCounters accumulates per-traffic-class task accounting during
+// a multi-class scenario run. It lives beside Counters (never inside
+// it: Counters stays a flat, ==-comparable struct) and only exists
+// when the task source declares two or more classes.
+type ClassCounters struct {
+	Generated int64
+	Completed int64
+	Discarded int64
+	Lost      int64
+	WaitTime  int64 // Σ t_wait over the class's started tasks
+	RunTime   int64 // Σ turnaround over the class's completed tasks
+}
+
+// ClassStats is the derived per-class report block: the class's task
+// population split plus its Table I-style per-task averages.
+type ClassStats struct {
+	Name           string  `json:"name"`
+	Generated      int64   `json:"generated"`
+	Completed      int64   `json:"completed"`
+	Discarded      int64   `json:"discarded,omitempty"`
+	Lost           int64   `json:"lost,omitempty"`
+	AvgWaitingTime float64 `json:"avg_waiting_time"`
+	AvgRunningTime float64 `json:"avg_running_time"`
+}
+
+// ComputeClasses derives per-class stats, mirroring Compute's
+// denominator rules: waiting time averages over generated tasks,
+// running time over completed ones. Returns nil for nil input so
+// single-class runs serialise without a classes block.
+func ComputeClasses(names []string, acc []ClassCounters) []ClassStats {
+	if len(acc) == 0 {
+		return nil
+	}
+	out := make([]ClassStats, len(acc))
+	for i, c := range acc {
+		s := ClassStats{
+			Name:      names[i],
+			Generated: c.Generated,
+			Completed: c.Completed,
+			Discarded: c.Discarded,
+			Lost:      c.Lost,
+		}
+		if c.Generated > 0 {
+			s.AvgWaitingTime = float64(c.WaitTime) / float64(c.Generated)
+		}
+		if c.Completed > 0 {
+			s.AvgRunningTime = float64(c.RunTime) / float64(c.Completed)
+		}
+		out[i] = s
+	}
+	return out
+}
+
 // Report carries every Table I metric for one simulation run.
 type Report struct {
 	// Scenario/shape echo.

@@ -27,6 +27,11 @@ type Task struct {
 	// Data is the input data size of the task (bytes); it only feeds
 	// the communication-delay model.
 	Data int64
+	// Class is the traffic-class index of a multi-class scenario
+	// source (workload.ClassedSource ordering); 0 for single-class
+	// streams. It feeds per-class accounting only — scheduling never
+	// reads it.
+	Class int
 
 	// CreateTime is the timetick the task entered the system.
 	CreateTime int64

@@ -44,6 +44,11 @@ type Snapshot struct {
 	// configuration number (only configurations with resident regions
 	// appear).
 	PerConfig []ConfigCensus
+
+	// ClassRunning counts running tasks per traffic class (indexed by
+	// model.Task.Class); nil unless the snapshot was taken with
+	// TakeClassed, so single-class snapshots are unchanged.
+	ClassRunning []int
 }
 
 // Take captures a snapshot of the manager's state at time now.
@@ -88,6 +93,26 @@ func Take(m *resinfo.Manager, now int64) Snapshot {
 		return perConfig[i].ConfigNo < perConfig[j].ConfigNo
 	})
 	s.PerConfig = perConfig
+	return s
+}
+
+// TakeClassed captures a snapshot with the running-task census split
+// across `classes` traffic classes (multi-class scenario runs). Tasks
+// whose class index falls outside [0, classes) are not counted.
+func TakeClassed(m *resinfo.Manager, now int64, classes int) Snapshot {
+	s := Take(m, now)
+	if classes <= 0 {
+		return s
+	}
+	cr := make([]int, classes)
+	for _, n := range m.Nodes() {
+		for _, e := range n.Entries {
+			if e.Task != nil && e.Task.Class >= 0 && e.Task.Class < classes {
+				cr[e.Task.Class]++
+			}
+		}
+	}
+	s.ClassRunning = cr
 	return s
 }
 

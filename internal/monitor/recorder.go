@@ -18,6 +18,9 @@ type Sample struct {
 	Suspended   int
 	WastedArea  int64 // Eq. 6 instantaneous value
 	Utilization float64
+	// ClassRunning splits Running across traffic classes; nil unless
+	// the recorder has Classes set (multi-class scenario runs).
+	ClassRunning []int
 }
 
 // Recorder collects periodic samples of system state — the
@@ -32,6 +35,11 @@ type Recorder struct {
 	// Every is the sampling stride: a sample is taken on every
 	// Every-th Observe call (minimum 1).
 	Every int
+	// Classes, when positive, makes every sample carry a per-class
+	// running-task census of that many traffic classes. Zero (the
+	// default) keeps the cheap node-only walk and the legacy sample
+	// shape.
+	Classes int
 
 	calls   int
 	samples []Sample
@@ -95,6 +103,9 @@ func (r *Recorder) Observe(m *resinfo.Manager, now int64, suspended int) {
 		return
 	}
 	s := Sample{Time: now, Suspended: suspended}
+	if r.Classes > 0 {
+		s.ClassRunning = make([]int, r.Classes)
+	}
 	var total, used int64
 	for _, n := range m.Nodes() {
 		total += n.TotalArea
@@ -112,6 +123,13 @@ func (r *Recorder) Observe(m *resinfo.Manager, now int64, suspended int) {
 		}
 		if !n.Blank() && running == 0 {
 			s.WastedArea += n.AvailableArea
+		}
+		if s.ClassRunning != nil && running > 0 {
+			for _, e := range n.Entries {
+				if e.Task != nil && e.Task.Class >= 0 && e.Task.Class < len(s.ClassRunning) {
+					s.ClassRunning[e.Task.Class]++
+				}
+			}
 		}
 	}
 	if total > 0 {

@@ -31,6 +31,9 @@ type WindowRow struct {
 	Running     WindowStat
 	Suspended   WindowStat
 	WastedArea  WindowStat
+	// ClassRunning carries one Running-style stat per traffic class;
+	// nil when the window's samples carried no per-class census.
+	ClassRunning []WindowStat
 }
 
 // windowRingCap bounds how many closed rows an Aggregator retains for
@@ -140,6 +143,17 @@ func Reduce(samples []Sample) WindowRow {
 	row.Running = stat(func(s Sample) float64 { return float64(s.Running) })
 	row.Suspended = stat(func(s Sample) float64 { return float64(s.Suspended) })
 	row.WastedArea = stat(func(s Sample) float64 { return float64(s.WastedArea) })
+	if classes := len(samples[0].ClassRunning); classes > 0 {
+		row.ClassRunning = make([]WindowStat, classes)
+		for c := 0; c < classes; c++ {
+			row.ClassRunning[c] = stat(func(s Sample) float64 {
+				if c < len(s.ClassRunning) {
+					return float64(s.ClassRunning[c])
+				}
+				return 0
+			})
+		}
+	}
 	return row
 }
 
@@ -194,17 +208,32 @@ const timelineHeader = "start,end,samples," +
 
 // Write appends one window row (emitting the header first) and
 // flushes, so a consumer tailing the file sees rows as they close.
+// Rows carrying a per-class census get extra class<i>_* column groups
+// after the fixed columns; class-free timelines are byte-identical to
+// the pre-scenario format.
 func (tw *TimelineWriter) Write(row WindowRow) error {
 	if !tw.wroteHeader {
 		tw.wroteHeader = true
-		if _, err := fmt.Fprintln(tw.bw, timelineHeader); err != nil {
+		header := timelineHeader
+		for i := range row.ClassRunning {
+			header += fmt.Sprintf(",class%d_min,class%d_max,class%d_mean,class%d_p99", i, i, i, i)
+		}
+		if _, err := fmt.Fprintln(tw.bw, header); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(tw.bw, "%d,%d,%d,%s,%s,%s,%s\n",
+	if _, err := fmt.Fprintf(tw.bw, "%d,%d,%d,%s,%s,%s,%s",
 		row.Start, row.End, row.Samples,
 		csvStat(row.Utilization), csvStat(row.Running),
 		csvStat(row.Suspended), csvStat(row.WastedArea)); err != nil {
+		return err
+	}
+	for _, cs := range row.ClassRunning {
+		if _, err := fmt.Fprintf(tw.bw, ",%s", csvStat(cs)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(tw.bw); err != nil {
 		return err
 	}
 	return tw.bw.Flush()

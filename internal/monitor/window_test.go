@@ -2,11 +2,16 @@ package monitor
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"dreamsim/internal/rng"
 )
+
+// rowsEqual compares two window rows; WindowRow carries a per-class
+// slice so it is not ==-comparable.
+func rowsEqual(a, b WindowRow) bool { return reflect.DeepEqual(a, b) }
 
 // syntheticSamples builds a deterministic pseudo-random sample series.
 func syntheticSamples(n int, seed uint64) []Sample {
@@ -58,7 +63,7 @@ func TestAggregatorMatchesFullHistory(t *testing.T) {
 			t.Fatalf("window=%d: %d rows streamed, want %d", window, len(got), len(want))
 		}
 		for i := range want {
-			if got[i] != want[i] {
+			if !rowsEqual(got[i], want[i]) {
 				t.Errorf("window=%d row %d:\n  streamed %+v\n  history  %+v", window, i, got[i], want[i])
 			}
 		}
@@ -149,6 +154,97 @@ func TestTimelineWriter(t *testing.T) {
 	}
 }
 
+// TestReduceClassRunning pins the per-class reduction: every class
+// column is reduced by the same min/max/mean/p99 arithmetic as the
+// fixed columns, short ClassRunning slices read as zero, and
+// class-free samples produce a nil ClassRunning row (the byte-identity
+// switch for non-scenario runs).
+func TestReduceClassRunning(t *testing.T) {
+	samples := make([]Sample, 10)
+	for i := range samples {
+		samples[i] = Sample{
+			Time:         int64(i),
+			Running:      3 * i,
+			ClassRunning: []int{i, 2 * i},
+		}
+	}
+	row := Reduce(samples)
+	if len(row.ClassRunning) != 2 {
+		t.Fatalf("%d class stats, want 2", len(row.ClassRunning))
+	}
+	for c, want := range []WindowStat{
+		{Min: 0, Max: 9, Mean: 4.5, P99: 9},
+		{Min: 0, Max: 18, Mean: 9, P99: 18},
+	} {
+		if row.ClassRunning[c] != want {
+			t.Errorf("class %d stat = %+v, want %+v", c, row.ClassRunning[c], want)
+		}
+	}
+
+	// A sample with a short (or absent) census counts as zero for the
+	// missing classes rather than panicking.
+	ragged := append([]Sample{}, samples...)
+	ragged[3] = Sample{Time: 3, Running: 9} // no ClassRunning at all
+	row = Reduce(ragged)
+	if row.ClassRunning[0].Min != 0 || row.ClassRunning[1].Min != 0 {
+		t.Errorf("ragged census min = %+v, want zeros", row.ClassRunning)
+	}
+
+	// Class-free windows must not grow a ClassRunning row.
+	plain := Reduce(syntheticSamples(16, 3))
+	if plain.ClassRunning != nil {
+		t.Errorf("class-free reduction grew ClassRunning %+v", plain.ClassRunning)
+	}
+}
+
+// TestTimelineWriterClassColumns checks the CSV surface of multi-class
+// rows: class<i>_* column groups after the fixed header, one 4-column
+// group per class per row — and that class-free rows render the exact
+// pre-scenario header.
+func TestTimelineWriterClassColumns(t *testing.T) {
+	var sb strings.Builder
+	tw := NewTimelineWriter(&sb)
+	row := WindowRow{
+		Start: 5, End: 9, Samples: 2,
+		Running: WindowStat{Min: 3, Max: 7, Mean: 5, P99: 7},
+		ClassRunning: []WindowStat{
+			{Min: 1, Max: 3, Mean: 2, P99: 3},
+			{Min: 2, Max: 4, Mean: 3, P99: 4},
+		},
+	}
+	if err := tw.Write(row); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want header + row:\n%s", len(lines), sb.String())
+	}
+	wantHeader := timelineHeader +
+		",class0_min,class0_max,class0_mean,class0_p99" +
+		",class1_min,class1_max,class1_mean,class1_p99"
+	if lines[0] != wantHeader {
+		t.Errorf("header = %q\nwant     %q", lines[0], wantHeader)
+	}
+	if !strings.HasSuffix(lines[1], ",1,3,2,3,2,4,3,4") {
+		t.Errorf("row = %q, want class groups ...,1,3,2,3,2,4,3,4", lines[1])
+	}
+
+	// Class-free writer output is byte-identical to the pre-scenario
+	// format: the bare header, no trailing columns.
+	var plain strings.Builder
+	ptw := NewTimelineWriter(&plain)
+	if err := ptw.Write(WindowRow{Start: 1, End: 2, Samples: 1}); err != nil {
+		t.Fatal(err)
+	}
+	plines := strings.Split(strings.TrimRight(plain.String(), "\n"), "\n")
+	if plines[0] != timelineHeader {
+		t.Errorf("class-free header = %q", plines[0])
+	}
+	if strings.Contains(plain.String(), "class0") {
+		t.Errorf("class-free timeline grew class columns:\n%s", plain.String())
+	}
+}
+
 // TestWindowRecorderMatchesPlainRecorder drives a windowed and a plain
 // recorder over identical observations (via direct Aggregator feeding
 // of the plain recorder's samples) and proves the windowed aggregates
@@ -174,7 +270,7 @@ func TestWindowRecorderMatchesPlainRecorder(t *testing.T) {
 			end = len(samples)
 		}
 		chunk := append([]Sample(nil), samples[i:end]...)
-		if want := Reduce(chunk); rows[j] != want {
+		if want := Reduce(chunk); !rowsEqual(rows[j], want) {
 			t.Fatalf("window %d: streamed %+v != history %+v", j, rows[j], want)
 		}
 	}

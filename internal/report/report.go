@@ -109,6 +109,70 @@ func appendFaultMetricRows(dst []Metric, r metrics.Report) []Metric {
 	)
 }
 
+// ClassMetricRows flattens a per-traffic-class breakdown into named
+// rows ("class_<name>_<metric>"). It returns nil for an empty slice,
+// so single-class reports gain no rows.
+func ClassMetricRows(classes []metrics.ClassStats) []Metric {
+	if len(classes) == 0 {
+		return nil
+	}
+	out := make([]Metric, 0, 6*len(classes))
+	for _, c := range classes {
+		prefix := "class_" + c.Name + "_"
+		out = append(out,
+			Metric{prefix + "generated", float64(c.Generated)},
+			Metric{prefix + "completed", float64(c.Completed)},
+			Metric{prefix + "discarded", float64(c.Discarded)},
+			Metric{prefix + "lost", float64(c.Lost)},
+			Metric{prefix + "avg_waiting_time", c.AvgWaitingTime},
+			Metric{prefix + "avg_running_time", c.AvgRunningTime},
+		)
+	}
+	return out
+}
+
+// ClassTableText renders the per-class breakdown as a fixed-width
+// table, one row per class, for appending below Table I. Empty input
+// renders nothing.
+func ClassTableText(classes []metrics.ClassStats) string {
+	if len(classes) == 0 {
+		return ""
+	}
+	var dst []byte
+	dst = appendCell(dst, "traffic class", -16)
+	dst = appendCell(dst, "generated", 12)
+	dst = appendCell(dst, "completed", 12)
+	dst = appendCell(dst, "discarded", 12)
+	dst = appendCell(dst, "lost", 8)
+	dst = appendCell(dst, "avg wait", 12)
+	dst = appendCell(dst, "avg run", 14)
+	dst = append(dst, '\n')
+	dst = append(dst, dashes[:72]...)
+	dst = append(dst, '\n')
+	for _, c := range classes {
+		dst = appendCell(dst, c.Name, -16)
+		dst = appendClassCell(dst, float64(c.Generated), 12)
+		dst = appendClassCell(dst, float64(c.Completed), 12)
+		dst = appendClassCell(dst, float64(c.Discarded), 12)
+		dst = appendClassCell(dst, float64(c.Lost), 8)
+		dst = appendClassCell(dst, c.AvgWaitingTime, 12)
+		dst = appendClassCell(dst, c.AvgRunningTime, 14)
+		dst = append(dst, '\n')
+	}
+	return string(dst)
+}
+
+// appendClassCell renders compact(v) right-justified to width.
+func appendClassCell(dst []byte, v float64, width int) []byte {
+	var scratch [32]byte
+	num := appendCompact(scratch[:0], v)
+	dst = append(dst, ' ')
+	for i := len(num); i < width; i++ {
+		dst = append(dst, ' ')
+	}
+	return append(dst, num...)
+}
+
 // WriteXML serialises the report with indentation and an XML header.
 func WriteXML(w io.Writer, s Simulation) error {
 	if _, err := io.WriteString(w, xml.Header); err != nil {

@@ -10,6 +10,12 @@ import "math"
 
 // Lognormal returns a variate whose logarithm is Normal(mu, sigma).
 func (r *RNG) Lognormal(mu, sigma float64) float64 {
+	// A NaN parameter slips past the sign check (NaN fails every
+	// comparison) and poisons the stream silently; reject it up front
+	// like Gamma and Poisson do.
+	if !finite(mu) || !finite(sigma) {
+		panic("rng: Lognormal with non-finite parameter")
+	}
 	if sigma < 0 {
 		panic("rng: Lognormal with negative sigma")
 	}
@@ -18,6 +24,9 @@ func (r *RNG) Lognormal(mu, sigma float64) float64 {
 
 // Weibull returns a Weibull(shape, scale) variate by inversion.
 func (r *RNG) Weibull(shape, scale float64) float64 {
+	if !finite(shape) || !finite(scale) {
+		panic("rng: Weibull with non-finite parameter")
+	}
 	if shape <= 0 || scale <= 0 {
 		panic("rng: Weibull with non-positive parameter")
 	}
@@ -27,10 +36,63 @@ func (r *RNG) Weibull(shape, scale float64) float64 {
 // Pareto returns a Pareto(xm, alpha) variate (minimum xm, tail index
 // alpha) by inversion.
 func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if !finite(xm) || !finite(alpha) {
+		panic("rng: Pareto with non-finite parameter")
+	}
 	if xm <= 0 || alpha <= 0 {
 		panic("rng: Pareto with non-positive parameter")
 	}
 	return xm / math.Pow(r.Float64Open(), 1/alpha)
+}
+
+// GammaParams converts a (mean, cv) inter-arrival description into
+// Gamma(shape, scale) parameters: shape = 1/cv², scale = mean·cv².
+// The coefficient of variation is the burstiness dial of an arrival
+// process — cv = 1 recovers the exponential (Poisson process), cv > 1
+// clumps arrivals into bursts, cv < 1 smooths them toward periodic.
+func GammaParams(mean, cv float64) (shape, scale float64) {
+	if !finite(mean) || !finite(cv) || mean <= 0 || cv <= 0 {
+		panic("rng: GammaParams needs positive finite mean and cv")
+	}
+	return 1 / (cv * cv), mean * cv * cv
+}
+
+// WeibullParams converts a (mean, cv) inter-arrival description into
+// Weibull(shape, scale) parameters. The shape k solves
+//
+//	cv² = Γ(1+2/k)/Γ(1+1/k)² − 1
+//
+// by bisection (cv is strictly decreasing in k), and the scale then
+// pins the mean: scale = mean/Γ(1+1/k). Supported cv range is
+// [0.01, 100], ample for workload modelling.
+func WeibullParams(mean, cv float64) (shape, scale float64) {
+	if !finite(mean) || !finite(cv) || mean <= 0 || cv <= 0 {
+		panic("rng: WeibullParams needs positive finite mean and cv")
+	}
+	if cv < 0.01 || cv > 100 {
+		panic("rng: WeibullParams cv outside [0.01, 100]")
+	}
+	want := cv * cv
+	lo, hi := 0.05, 200.0 // cv²(0.05) ≈ 1.4e11, cv²(200) ≈ 4e-5: brackets the supported range
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if weibullCV2(mid) > want {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	shape = (lo + hi) / 2
+	scale = mean / math.Gamma(1+1/shape)
+	return shape, scale
+}
+
+// weibullCV2 returns the squared coefficient of variation of a
+// Weibull distribution with the given shape.
+func weibullCV2(k float64) float64 {
+	g1 := math.Gamma(1 + 1/k)
+	g2 := math.Gamma(1 + 2/k)
+	return g2/(g1*g1) - 1
 }
 
 // Zipf draws from {0, ..., n-1} with P(k) ∝ 1/(k+1)^s via inversion

@@ -113,6 +113,85 @@ func TestZipfUniformDegenerate(t *testing.T) {
 	}
 }
 
+// TestGammaParamsMoments checks the mean/cv parameterisation used by
+// scenario arrival processes: samples drawn with GammaParams must
+// reproduce the requested mean and coefficient of variation.
+func TestGammaParamsMoments(t *testing.T) {
+	r := New(127)
+	for _, tc := range []struct{ mean, cv float64 }{
+		{25, 0.5}, {25, 1.0}, {40, 2.5},
+	} {
+		shape, scale := GammaParams(tc.mean, tc.cv)
+		if shape*scale != tc.mean && math.Abs(shape*scale-tc.mean) > 1e-9*tc.mean {
+			t.Errorf("GammaParams(%v,%v): shape*scale = %v", tc.mean, tc.cv, shape*scale)
+		}
+		mean, variance := moments(statN, func() float64 { return r.Gamma(shape, scale) })
+		if math.Abs(mean-tc.mean) > 0.05*tc.mean {
+			t.Errorf("Gamma(mean=%v,cv=%v): sample mean %v", tc.mean, tc.cv, mean)
+		}
+		if cv := math.Sqrt(variance) / mean; math.Abs(cv-tc.cv) > 0.08*tc.cv {
+			t.Errorf("Gamma(mean=%v,cv=%v): sample cv %v", tc.mean, tc.cv, cv)
+		}
+	}
+}
+
+// TestWeibullParamsMoments does the same for the Weibull mean/cv
+// inversion (shape recovered by bisection).
+func TestWeibullParamsMoments(t *testing.T) {
+	r := New(131)
+	for _, tc := range []struct{ mean, cv float64 }{
+		{25, 0.3}, {25, 1.0}, {40, 1.8},
+	} {
+		shape, scale := WeibullParams(tc.mean, tc.cv)
+		// Analytic round-trip: the recovered shape must reproduce cv².
+		if got := math.Sqrt(weibullCV2(shape)); math.Abs(got-tc.cv) > 1e-6*tc.cv {
+			t.Errorf("WeibullParams(%v,%v): shape %v gives cv %v", tc.mean, tc.cv, shape, got)
+		}
+		mean, variance := moments(statN, func() float64 { return r.Weibull(shape, scale) })
+		if math.Abs(mean-tc.mean) > 0.05*tc.mean {
+			t.Errorf("Weibull(mean=%v,cv=%v): sample mean %v", tc.mean, tc.cv, mean)
+		}
+		if cv := math.Sqrt(variance) / mean; math.Abs(cv-tc.cv) > 0.08*tc.cv {
+			t.Errorf("Weibull(mean=%v,cv=%v): sample cv %v", tc.mean, tc.cv, cv)
+		}
+	}
+	// shape 1 (cv = 1) degenerates to exponential: scale == mean.
+	if shape, scale := WeibullParams(10, 1); math.Abs(shape-1) > 1e-6 || math.Abs(scale-10) > 1e-5 {
+		t.Errorf("WeibullParams(10, 1) = (%v, %v), want (1, 10)", shape, scale)
+	}
+}
+
+// TestDistributionGuards locks in the non-finite parameter rejections
+// (the PR 2 guard pattern): NaN passes a plain sign check, so every
+// sampler and parameter helper must refuse it explicitly.
+func TestDistributionGuards(t *testing.T) {
+	r := New(137)
+	nan := math.NaN()
+	inf := math.Inf(1)
+	for name, f := range map[string]func(){
+		"Lognormal-nan":     func() { r.Lognormal(nan, 1) },
+		"Lognormal-inf":     func() { r.Lognormal(0, inf) },
+		"Weibull-nan":       func() { r.Weibull(nan, 1) },
+		"Weibull-inf":       func() { r.Weibull(1, inf) },
+		"Pareto-nan":        func() { r.Pareto(nan, 1) },
+		"Pareto-inf":        func() { r.Pareto(1, inf) },
+		"GammaParams-nan":   func() { GammaParams(nan, 1) },
+		"GammaParams-zero":  func() { GammaParams(0, 1) },
+		"WeibullParams-nan": func() { WeibullParams(10, nan) },
+		"WeibullParams-lo":  func() { WeibullParams(10, 0.001) },
+		"WeibullParams-hi":  func() { WeibullParams(10, 1000) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
 func TestZipfPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

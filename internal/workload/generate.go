@@ -180,16 +180,23 @@ func (g *Generator) Next() (*model.Task, bool) {
 // reqTime draws t_required under the configured distribution,
 // clamped into [TaskReqTimeLow, TaskReqTimeHigh].
 func (g *Generator) reqTime() int64 {
-	lo, hi := g.spec.TaskReqTimeLow, g.spec.TaskReqTimeHigh
-	switch g.spec.TaskTimeDist {
+	return drawReqTime(g.r, g.spec.TaskReqTimeLow, g.spec.TaskReqTimeHigh, g.spec.TaskTimeDist)
+}
+
+// drawReqTime is the single t_required draw shared by the Generator
+// and the scenario compiler's per-class streams: identical ranges and
+// distribution consume identical RNG draws, so a class that mirrors
+// the flag-level spec reproduces its sequence exactly.
+func drawReqTime(r *rng.RNG, lo, hi int64, dist DistKind) int64 {
+	switch dist {
 	case DistLognormal:
 		mu := (math.Log(float64(lo)) + math.Log(float64(hi))) / 2
 		sigma := (math.Log(float64(hi)) - math.Log(float64(lo))) / 6
-		return clamp64(int64(g.r.Lognormal(mu, sigma)+0.5), lo, hi)
+		return clamp64(int64(r.Lognormal(mu, sigma)+0.5), lo, hi)
 	case DistPareto:
-		return clamp64(int64(g.r.Pareto(float64(lo), 1.5)+0.5), lo, hi)
+		return clamp64(int64(r.Pareto(float64(lo), 1.5)+0.5), lo, hi)
 	default:
-		return g.r.Int64Range(lo, hi)
+		return r.Int64Range(lo, hi)
 	}
 }
 

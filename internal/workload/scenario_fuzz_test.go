@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseScenario feeds arbitrary text through the scenario parser:
+// it must never panic, and any input it accepts must round-trip
+// through the canonical formatter — Format∘Parse is idempotent, so
+// formatted output re-parses to a scenario that formats identically.
+// Validation is deliberately NOT required to pass: the parser's
+// contract is syntax only, and the fuzzer exercises it on
+// semantically absurd specs too (Validate must merely not panic).
+func FuzzParseScenario(f *testing.F) {
+	f.Add("dreamsim-scenario v1\n")
+	f.Add("dreamsim-scenario v1\nname x\ntasks 100\ninterval 50\narrival poisson\n")
+	f.Add("dreamsim-scenario v1\nclass a\n  fraction 0.5\n  arrival gamma 2\n  reqtime 100 1000 lognormal\n  area 200 800\n  popularity 0.8\n  closest-match 0.1\nend\n")
+	f.Add("dreamsim-scenario v1\ntimeline\n  0 0.5\n  100 2\nend\n")
+	f.Add("dreamsim-scenario v1\nevent spike 10 20 3\nevent maintenance 5 9 0 4\nevent storm 1 8 2\n")
+	f.Add("dreamsim-scenario v1\nclass a\n# comment\nend\nclass b\nend\n")
+	f.Add("not a scenario\n")
+	f.Add("dreamsim-scenario v1\ntasks -5\ninterval 0\nclass ??\n  fraction -1\nend\n")
+	// Every committed example spec is a seed, so corpus drift from the
+	// examples directory is impossible.
+	if paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.scn")); err == nil {
+		for _, path := range paths {
+			if data, err := os.ReadFile(path); err == nil {
+				f.Add(string(data))
+			}
+		}
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		scn, err := ParseScenario(text)
+		if err != nil {
+			return // malformed input is rejected, not interpreted
+		}
+		_ = scn.Validate() // must not panic on absurd-but-parseable specs
+		once := FormatScenario(scn)
+		back, err := ParseScenario(once)
+		if err != nil {
+			t.Fatalf("formatted scenario does not re-parse: %v\ninput:\n%s\nformatted:\n%s", err, text, once)
+		}
+		if twice := FormatScenario(back); twice != once {
+			t.Fatalf("format not idempotent\nfirst:\n%s\nsecond:\n%s", once, twice)
+		}
+	})
+}

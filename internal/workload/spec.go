@@ -20,6 +20,14 @@ const (
 	// uniform process, giving a Poisson arrival stream (the input
 	// subsystem supports user-chosen distribution functions).
 	ArrivalPoisson
+	// ArrivalGamma draws gamma-distributed gaps parameterised by mean
+	// and coefficient of variation — cv > 1 clumps arrivals into
+	// bursts. Only reachable through scenario files, which carry the
+	// cv; the flag-level Spec stays uniform/Poisson.
+	ArrivalGamma
+	// ArrivalWeibull draws Weibull gaps, an alternative bursty process
+	// with a different tail; likewise scenario-only.
+	ArrivalWeibull
 )
 
 // String implements fmt.Stringer.
@@ -29,9 +37,41 @@ func (k ArrivalKind) String() string {
 		return "uniform"
 	case ArrivalPoisson:
 		return "poisson"
+	case ArrivalGamma:
+		return "gamma"
+	case ArrivalWeibull:
+		return "weibull"
 	default:
 		return fmt.Sprintf("ArrivalKind(%d)", int(k))
 	}
+}
+
+// ParseArrivalKind inverts ArrivalKind.String.
+func ParseArrivalKind(s string) (ArrivalKind, error) {
+	switch s {
+	case "uniform":
+		return ArrivalUniform, nil
+	case "poisson":
+		return ArrivalPoisson, nil
+	case "gamma":
+		return ArrivalGamma, nil
+	case "weibull":
+		return ArrivalWeibull, nil
+	}
+	return 0, fmt.Errorf("workload: unknown arrival kind %q", s)
+}
+
+// ParseDistKind inverts DistKind.String.
+func ParseDistKind(s string) (DistKind, error) {
+	switch s {
+	case "uniform":
+		return DistUniform, nil
+	case "lognormal":
+		return DistLognormal, nil
+	case "pareto":
+		return DistPareto, nil
+	}
+	return 0, fmt.Errorf("workload: unknown distribution %q", s)
 }
 
 // DistKind selects a draw distribution for task attributes.
@@ -139,6 +179,10 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("workload: unknown task time distribution %d", s.TaskTimeDist)
 	case s.ConfigPopularity < 0:
 		return fmt.Errorf("workload: negative config popularity exponent")
+	case s.Arrival < ArrivalUniform || s.Arrival > ArrivalPoisson:
+		// Gamma/Weibull need a cv, which only scenario files carry;
+		// a bare Spec cannot express them.
+		return fmt.Errorf("workload: arrival %v requires a scenario file", s.Arrival)
 	}
 	if s.NodeAreaHigh < s.ConfigAreaLow {
 		return fmt.Errorf("workload: largest node (%d) smaller than smallest config (%d): nothing schedulable",

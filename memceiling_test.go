@@ -64,6 +64,69 @@ func TestStreamedHeapCeiling(t *testing.T) {
 	}
 }
 
+// scenarioCeilingSpec is the multi-class diurnal workload of the
+// scenario heap gate: bursty gamma/weibull arrivals, a rate timeline
+// and a spike, with the task count injected per run. The arrival
+// shape is deliberately the stress case — bursty multi-class merging
+// is where a scenario source would most plausibly accumulate state.
+const scenarioCeilingSpec = `dreamsim-scenario v1
+name ceiling-diurnal
+interval 50
+class batch
+  fraction 0.7
+  arrival gamma 2
+  reqtime 1000 80000 lognormal
+end
+class interactive
+  fraction 0.3
+  arrival weibull 0.6
+  reqtime 100 4000 uniform
+end
+timeline
+  0 0.5
+  50000 1.5
+  100000 0.5
+end
+event spike 60000 62000 3
+`
+
+// TestScenarioStreamedHeapCeiling extends the memory-regression gate
+// to the scenario compiler: a streamed 5000-node multi-class diurnal
+// run must keep its peak heap governed by the node count and live
+// tasks, independent of how many tasks flow through — the scenario
+// source recycles through the same free list as the Generator.
+func TestScenarioStreamedHeapCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory ceiling needs the full-size runs")
+	}
+	run := func(tasks int) {
+		p := dreamsim.DefaultParams()
+		// 5000 nodes keeps the bursty multi-class load below
+		// saturation, so the live-task population is node-governed.
+		p.Nodes = 5000
+		p.Tasks = tasks
+		p.PartialReconfig = true
+		p.FastSearch = true
+		p.Stream = true
+		p.ScenarioText = scenarioCeilingSpec
+		if _, err := dreamsim.Run(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(1000) // warm up: pools, lazy runtime structures, code paths
+
+	peak10k := peakHeap(func() { run(10_000) })
+	peak100k := peakHeap(func() { run(100_000) })
+	t.Logf("streamed scenario peak heap growth: 10k tasks %.2f MiB, 100k tasks %.2f MiB",
+		float64(peak10k)/(1<<20), float64(peak100k)/(1<<20))
+
+	const slack = 8 << 20
+	if peak100k > 2*peak10k+slack {
+		t.Fatalf("streamed scenario heap scales with task count: 100k-task peak %d B > 2x 10k-task peak %d B + %d B slack",
+			peak100k, peak10k, slack)
+	}
+}
+
 // TestMaterializedHeapGrowsWithTasks sanity-checks the gate itself: in
 // the materialized monitor mode (full sample retention) heap growth
 // DOES follow the run length, so the ceiling assertion above is

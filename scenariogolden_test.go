@@ -1,0 +1,157 @@
+package dreamsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dreamsim"
+)
+
+// Golden-report gate for the committed example scenarios: each
+// examples/scenarios/*.scn runs both reconfiguration methods at fixed
+// parameters, and the rendered Table I + XML reports must match the
+// checked-in fixture byte for byte. Any change to the scenario
+// compiler, the RNG split order or the report layout that moves a
+// single byte shows up as a fixture diff. Regenerate intentionally
+// with:
+//
+//	DREAMSIM_UPDATE_GOLDEN=1 go test -run TestScenarioGoldenReports .
+
+const updateGoldenEnv = "DREAMSIM_UPDATE_GOLDEN"
+
+// exampleScenarioDir is the committed example-spec directory; the
+// golden and determinism suites iterate every .scn file in it.
+const exampleScenarioDir = "examples/scenarios"
+
+// loadExampleScenarios returns every committed example scenario,
+// sorted by name.
+func loadExampleScenarios(t *testing.T) []dreamsim.NamedScenario {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(exampleScenarioDir, "*.scn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("found %d example scenarios in %s, want at least 3", len(paths), exampleScenarioDir)
+	}
+	var set []dreamsim.NamedScenario
+	for _, path := range paths {
+		scn, err := dreamsim.LoadScenario(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set = append(set, scn)
+	}
+	return set
+}
+
+// goldenParams is the fixed configuration the golden reports pin.
+func goldenParams() dreamsim.Params {
+	p := dreamsim.DefaultParams()
+	p.Nodes = 100
+	p.Tasks = 0 // each scenario's own task count governs
+	return p
+}
+
+func renderGolden(t *testing.T, cell dreamsim.ScenarioCell) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	for _, half := range []struct {
+		label string
+		res   dreamsim.Result
+	}{{"full", cell.Full}, {"partial", cell.Partial}} {
+		fmt.Fprintf(&b, "=== %s ===\n", half.label)
+		b.WriteString(half.res.TableI())
+		if err := half.res.WriteXML(&b); err != nil {
+			t.Fatal(err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+func TestScenarioGoldenReports(t *testing.T) {
+	set := loadExampleScenarios(t)
+	cells, err := dreamsim.RunScenarioSet(goldenParams(), set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	update := os.Getenv(updateGoldenEnv) != ""
+	for _, cell := range cells {
+		got := renderGolden(t, cell)
+		path := filepath.Join("testdata", "scenarios", cell.Name+".golden")
+		if update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("updated %s (%d bytes)", path, len(got))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden fixture for %q (run with %s=1 to create): %v",
+				cell.Name, updateGoldenEnv, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("scenario %q report diverged from %s (%d vs %d bytes); "+
+				"rerun with %s=1 if the change is intended\n%s",
+				cell.Name, path, len(got), len(want), updateGoldenEnv, firstDiff(got, want))
+		}
+	}
+}
+
+// firstDiff renders the first differing region of two blobs for the
+// failure message.
+func firstDiff(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	i := 0
+	for i < n && got[i] == want[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	clip := func(b []byte) string {
+		hi := i + 80
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo >= len(b) {
+			return ""
+		}
+		return strings.ReplaceAll(string(b[lo:hi]), "\n", "\\n")
+	}
+	return fmt.Sprintf("first diff at byte %d:\n  got  ...%s...\n  want ...%s...", i, clip(got), clip(want))
+}
+
+// TestScenarioGoldenFaultsFired guards against the fault-storm golden
+// passing vacuously: its report must actually record node crashes.
+func TestScenarioGoldenFaultsFired(t *testing.T) {
+	scn, err := dreamsim.LoadScenario(filepath.Join(exampleScenarioDir, "fault-storm.scn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := goldenParams()
+	p.ScenarioText = scn.Text
+	res, err := dreamsim.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeCrashes == 0 {
+		t.Error("fault-storm scenario recorded no node crashes")
+	}
+	if res.NodeRecoveries == 0 {
+		t.Error("fault-storm scenario recorded no recoveries")
+	}
+}

@@ -1,0 +1,192 @@
+package dreamsim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"dreamsim"
+	"dreamsim/internal/rng"
+	"dreamsim/internal/workload"
+)
+
+// Property-based determinism suite: ~100 generated scenarios spanning
+// the DSL's surface (class counts, arrival kinds, cv values, per-class
+// ranges, timelines, spikes, storms) must each
+//
+//  1. survive a Parse∘Format round-trip unchanged,
+//  2. produce identical Compare results at Parallelism 1, 4 and 8,
+//  3. conserve tasks: per-class rows partition the run totals, and
+//     generated == completed + discarded + lost overall.
+//
+// The generator is seeded, so a failure names the scenario index and
+// reproduces exactly. -short trims the population to ~30.
+
+// genScenario synthesises one random-but-valid scenario.
+func genScenario(r *rng.RNG, idx int) *workload.Scenario {
+	scn := &workload.Scenario{
+		Tasks:    200 + r.Intn(400),
+		Interval: int64(20 + r.Intn(60)),
+	}
+	arrivals := []func() workload.ArrivalSpec{
+		func() workload.ArrivalSpec { return workload.ArrivalSpec{} }, // inherit
+		func() workload.ArrivalSpec {
+			return workload.ArrivalSpec{Set: true, Kind: workload.ArrivalUniform}
+		},
+		func() workload.ArrivalSpec {
+			return workload.ArrivalSpec{Set: true, Kind: workload.ArrivalPoisson}
+		},
+		func() workload.ArrivalSpec {
+			return workload.ArrivalSpec{Set: true, Kind: workload.ArrivalGamma,
+				CV: 0.25 + float64(r.Intn(16))/4}
+		},
+		func() workload.ArrivalSpec {
+			return workload.ArrivalSpec{Set: true, Kind: workload.ArrivalWeibull,
+				CV: 0.3 + float64(r.Intn(10))/5}
+		},
+	}
+	classNames := []string{"alpha", "beta", "gamma-c", "delta"}
+	nclasses := 1 + r.Intn(4)
+	for c := 0; c < nclasses; c++ {
+		cs := workload.ClassSpec{
+			Name:         classNames[c],
+			Fraction:     0.25 + float64(r.Intn(8))/4,
+			Arrival:      arrivals[r.Intn(len(arrivals))](),
+			Popularity:   -1,
+			ClosestMatch: -1,
+		}
+		if r.Bool(0.6) {
+			lo := int64(100 + r.Intn(2000))
+			cs.ReqTimeLow, cs.ReqTimeHigh = lo, lo+int64(1000+r.Intn(50000))
+			cs.TimeDist = workload.DistKind(r.Intn(3))
+		}
+		if r.Bool(0.3) {
+			// Paper config areas span [200,2000]; keep ranges wide enough
+			// to match at least one configuration.
+			lo := int64(200 + 100*r.Intn(10))
+			cs.AreaLow, cs.AreaHigh = lo, lo+800
+		}
+		if r.Bool(0.3) {
+			cs.Popularity = float64(r.Intn(6)) / 4
+		}
+		if r.Bool(0.3) {
+			cs.ClosestMatch = float64(r.Intn(5)) / 10
+		}
+		scn.Classes = append(scn.Classes, cs)
+	}
+	if r.Bool(0.5) {
+		at := int64(0)
+		points := 2 + r.Intn(4)
+		for i := 0; i < points; i++ {
+			scn.Timeline = append(scn.Timeline, workload.TimePoint{
+				At:   at,
+				Mult: 0.25 + float64(r.Intn(12))/4,
+			})
+			at += int64(1000 + r.Intn(9000))
+		}
+	}
+	if r.Bool(0.4) {
+		start := int64(500 + r.Intn(5000))
+		scn.Events = append(scn.Events, workload.ScheduledEvent{
+			Kind: workload.EventSpike, Start: start, End: start + int64(200+r.Intn(1000)),
+			Mult: 0.5 + float64(r.Intn(10))/2,
+		})
+	}
+	if r.Bool(0.25) {
+		start := int64(1000 + r.Intn(5000))
+		scn.Events = append(scn.Events, workload.ScheduledEvent{
+			Kind: workload.EventStorm, Start: start, End: start + int64(100+r.Intn(500)),
+			Count: 1 + r.Intn(8),
+		})
+	}
+	if r.Bool(0.25) {
+		start := int64(1000 + r.Intn(5000))
+		lo := r.Intn(20)
+		scn.Events = append(scn.Events, workload.ScheduledEvent{
+			Kind: workload.EventMaintenance, Start: start, End: start + int64(500+r.Intn(2000)),
+			NodeLo: lo, NodeHi: lo + r.Intn(6),
+		})
+	}
+	return scn
+}
+
+func TestScenarioPropertyDeterminism(t *testing.T) {
+	count := 100
+	if testing.Short() {
+		count = 30
+	}
+	r := rng.New(20260807)
+	for idx := 0; idx < count; idx++ {
+		scn := genScenario(r, idx)
+		if err := scn.Validate(); err != nil {
+			t.Fatalf("scenario %d: generator produced invalid spec: %v", idx, err)
+		}
+		text := workload.FormatScenario(scn)
+
+		// Property 1: Parse∘Format is the identity on formatted specs.
+		back, err := workload.ParseScenario(text)
+		if err != nil {
+			t.Fatalf("scenario %d: reparse: %v\n%s", idx, err, text)
+		}
+		if again := workload.FormatScenario(back); again != text {
+			t.Fatalf("scenario %d: format not idempotent\nfirst:\n%s\nsecond:\n%s", idx, text, again)
+		}
+
+		p := dreamsim.DefaultParams()
+		p.Nodes = 40
+		p.Tasks = 0
+		p.Seed = uint64(idx + 1)
+		p.ScenarioText = text
+
+		// Property 2: byte-identical Compare across parallelism levels.
+		var ref [2]dreamsim.Result
+		for pi, par := range []int{1, 4, 8} {
+			q := p
+			q.Parallelism = par
+			full, part, err := dreamsim.Compare(q)
+			if err != nil {
+				t.Fatalf("scenario %d par=%d: %v\n%s", idx, par, err, text)
+			}
+			if pi == 0 {
+				ref = [2]dreamsim.Result{full, part}
+				continue
+			}
+			if !reflect.DeepEqual(ref[0], full) || !reflect.DeepEqual(ref[1], part) {
+				t.Fatalf("scenario %d: results at parallelism %d diverge from sequential\n%s", idx, par, text)
+			}
+		}
+		var fx, px bytes.Buffer
+		if err := ref[0].WriteXML(&fx); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref[1].WriteXML(&px); err != nil {
+			t.Fatal(err)
+		}
+
+		// Property 3: conservation, overall and per class.
+		for half, res := range map[string]dreamsim.Result{"full": ref[0], "partial": ref[1]} {
+			if res.TotalTasks != int64(scn.Tasks) {
+				t.Errorf("scenario %d %s: generated %d tasks, want %d", idx, half, res.TotalTasks, scn.Tasks)
+			}
+			if got := res.CompletedTasks + res.TotalDiscardedTasks + res.TasksLost; got != res.TotalTasks {
+				t.Errorf("scenario %d %s: completed+discarded+lost = %d, want %d tasks",
+					idx, half, got, res.TotalTasks)
+			}
+			if len(res.Classes) > 0 {
+				var gen, done, disc, lost int64
+				for _, c := range res.Classes {
+					gen += c.Generated
+					done += c.Completed
+					disc += c.Discarded
+					lost += c.Lost
+				}
+				if gen != res.TotalTasks || done != res.CompletedTasks ||
+					disc != res.TotalDiscardedTasks || lost != res.TasksLost {
+					t.Errorf("scenario %d %s: class rows (%d/%d/%d/%d) do not partition totals (%d/%d/%d/%d)",
+						idx, half, gen, done, disc, lost,
+						res.TotalTasks, res.CompletedTasks, res.TotalDiscardedTasks, res.TasksLost)
+				}
+			}
+		}
+	}
+}
