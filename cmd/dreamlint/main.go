@@ -5,14 +5,17 @@
 //
 // It loads the matched packages (type-checked against the build
 // cache's export data), applies every analyzer, and prints findings
-// as file:line:col: analyzer: message. The exit status is 1 when any
-// unjustified finding remains, so CI can gate merges on a clean run.
-// Deliberate exceptions are justified in the source with
-// //lint:NAME <reason> directives — see README "Static analysis &
-// invariants".
+// as file:line:col: analyzer: message (or one JSON object per line
+// with -json, for tooling and the CI problem matcher). The exit
+// status is 1 when any unjustified finding remains, so CI can gate
+// merges on a clean run. Deliberate exceptions are justified in the
+// source with //lint:NAME <reason> directives — see README "Static
+// analysis & invariants"; -exceptions prints the full inventory of
+// them for review.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +28,11 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := flag.Bool("json", false, "print findings as one JSON object per line")
+	exceptions := flag.Bool("exceptions", false, "print the //lint: exception inventory and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dreamlint [-list] [-run name,name] [packages]\n")
+			"usage: dreamlint [-list] [-run name,name] [-json] [-exceptions] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,7 +40,7 @@ func main() {
 	analyzers := lint.Analyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -65,20 +70,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cwd, _ := os.Getwd()
+
+	if *exceptions {
+		exs := lint.Exceptions(pkgs)
+		for _, ex := range exs {
+			fmt.Printf("%s:%d: //lint:%s %s\n",
+				relPath(cwd, ex.Pos.Filename), ex.Pos.Line, ex.Name, ex.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "dreamlint: %d justified exception(s)\n", len(exs))
+		return
+	}
 
 	diags := lint.Run(pkgs, analyzers)
-	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
-		pos := d.Pos
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				pos.Filename = rel
-			}
+		file := relPath(cwd, d.Pos.Filename)
+		if *asJSON {
+			enc.Encode(struct {
+				File     string `json:"file"`
+				Line     int    `json:"line"`
+				Col      int    `json:"col"`
+				Analyzer string `json:"analyzer"`
+				Message  string `json:"message"`
+			}{file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			continue
 		}
+		pos := d.Pos
+		pos.Filename = file
 		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dreamlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// relPath shortens an absolute source path to a cwd-relative one when
+// the file sits under the working tree.
+func relPath(cwd, filename string) string {
+	if cwd == "" {
+		return filename
+	}
+	if rel, err := filepath.Rel(cwd, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return filename
 }

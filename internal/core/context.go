@@ -81,6 +81,7 @@ func NewRunContext() *RunContext { return &RunContext{} }
 // the backing array when it is large enough.
 func growClear[T any](s []T, n int) []T {
 	if cap(s) < n {
+		//lint:allocfree grow path: reallocates only when a donated context's capacity is outgrown; steady-state runs reuse the array (gated by TestTickZeroAlloc)
 		return make([]T, n)
 	}
 	s = s[:n]
@@ -157,6 +158,7 @@ func (ctx *RunContext) terminalOf(no int) model.TaskStatus {
 // for sources (SWF traces) whose numbering exceeds the Deps range.
 func (ctx *RunContext) setTerminal(no int, st model.TaskStatus) {
 	if no >= len(ctx.terminal) {
+		//lint:allocfree grow path: extends once per task-number high-water mark, then indexes in place (gated by TestTickZeroAlloc)
 		ctx.terminal = append(ctx.terminal, make([]model.TaskStatus, no+1-len(ctx.terminal))...)
 	}
 	ctx.terminal[no] = st
@@ -174,6 +176,7 @@ func (ctx *RunContext) blockedTask(no int) *model.Task {
 func (ctx *RunContext) setBlocked(task *model.Task) {
 	no := task.No
 	if no >= len(ctx.depBlocked) {
+		//lint:allocfree grow path: extends once per task-number high-water mark, then indexes in place (gated by TestTickZeroAlloc)
 		ctx.depBlocked = append(ctx.depBlocked, make([]*model.Task, no+1-len(ctx.depBlocked))...)
 	}
 	if ctx.depBlocked[no] == nil {
@@ -201,6 +204,7 @@ func (ctx *RunContext) childrenOf(no int) []int {
 // setInflight records the completion event of running task no.
 func (ctx *RunContext) setInflight(no int, ev *sim.Event) {
 	if no >= len(ctx.inflight) {
+		//lint:allocfree grow path: extends once per task-number high-water mark, then indexes in place (gated by TestTickZeroAlloc)
 		ctx.inflight = append(ctx.inflight, make([]*sim.Event, no+1-len(ctx.inflight))...)
 	}
 	ctx.inflight[no] = ev

@@ -187,6 +187,10 @@ type Simulator struct {
 	armedFaults      int64 // pending reconfiguration failures
 	retryPending     int64 // displaced tasks awaiting re-dispatch
 	drainCheckQueued bool  // a drain-check event is queued
+
+	// drainScratch is the recycled backing array for drainQueue's
+	// per-pass suspension snapshot.
+	drainScratch []*model.Task
 }
 
 // New builds a simulator: it generates the resource population and
@@ -453,6 +457,7 @@ func (s *Simulator) classAccOf(task *model.Task) *metrics.ClassCounters {
 // scheduleNextArrival pulls the next task from the source and queues
 // its arrival event.
 func (s *Simulator) scheduleNextArrival() {
+	//lint:allocfree interface dispatch: a source's Next is its own allocation contract; the streaming generator recycles task structs and TestTickZeroAlloc gates the closed loop
 	task, ok := s.source.Next()
 	if !ok {
 		s.arrDone = true
@@ -471,6 +476,8 @@ func (s *Simulator) scheduleNextArrival() {
 }
 
 // handleArrival runs the scheduling algorithm for a newly arrived task.
+//
+//dreamsim:noalloc
 func (s *Simulator) handleArrival(task *model.Task, now int64) {
 	if s.err != nil {
 		return
@@ -495,6 +502,7 @@ func (s *Simulator) handleArrival(task *model.Task, now int64) {
 			return
 		}
 	}
+	//lint:allocfree interface dispatch: the paper policies decide with value logic only; each policy's discipline is gated by TestTickZeroAlloc
 	d := s.policy.Decide(s.mgr, task)
 	s.dispatch(task, d, now)
 	s.debugCheck()
@@ -534,6 +542,7 @@ func (s *Simulator) releaseChildren(parentNo int, now int64) {
 		switch s.parentGate(child) {
 		case gateReady:
 			s.ctx.clearBlocked(childNo)
+			//lint:allocfree interface dispatch: the paper policies decide with value logic only; each policy's discipline is gated by TestTickZeroAlloc
 			s.dispatch(child, s.policy.Decide(s.mgr, child), now)
 		case gateDiscard:
 			s.ctx.clearBlocked(childNo)
@@ -649,6 +658,7 @@ func (s *Simulator) discard(task *model.Task, now int64) {
 // pointer afterwards: the next arrival reuses the struct.
 func (s *Simulator) release(task *model.Task) {
 	if s.recycle != nil {
+		//lint:allocfree interface dispatch: Release returns the struct to the source's free list; it allocates nothing by contract
 		s.recycle.Release(task)
 	}
 }
@@ -656,6 +666,8 @@ func (s *Simulator) release(task *model.Task) {
 // handleCompletion is the paper's TaskCompletionProc: release the
 // region, update lists and statistics, then feed the freed node to
 // the suspension queue.
+//
+//dreamsim:noalloc
 func (s *Simulator) handleCompletion(task *model.Task, node *model.Node, now int64) {
 	if s.err != nil {
 		return
@@ -894,6 +906,7 @@ func (s *Simulator) retrySuspended(node *model.Node, now int64) {
 		if qt.Resolved != nil && !sum.fits(qt.Resolved) {
 			return true // cannot fit: one search step, nothing else
 		}
+		//lint:allocfree interface dispatch: the paper policies decide with value logic only; each policy's discipline is gated by TestTickZeroAlloc
 		d := s.policy.DecideOnNode(s.mgr, qt, node)
 		if d.Places() {
 			s.sus.Remove(qt)
@@ -913,7 +926,9 @@ func (s *Simulator) retrySuspended(node *model.Node, now int64) {
 func (s *Simulator) drainQueue(now int64) {
 	for s.err == nil {
 		progress := false
-		for _, qt := range s.sus.Tasks() {
+		s.drainScratch = s.sus.AppendTasks(s.drainScratch[:0])
+		for _, qt := range s.drainScratch {
+			//lint:allocfree interface dispatch: the paper policies decide with value logic only; each policy's discipline is gated by TestTickZeroAlloc
 			d := s.policy.Decide(s.mgr, qt)
 			switch {
 			case d.Places():
@@ -969,9 +984,11 @@ func (s *Simulator) maybeDefrag(node *model.Node) {
 // monitoring recorder on state-changing events.
 func (s *Simulator) emit(kind string, now int64, task *model.Task) {
 	if s.params.OnEvent != nil {
+		//lint:allocfree observer hook: user-supplied; runs nil on the gated hot path
 		s.params.OnEvent(kind, now, task)
 	}
 	if s.params.Recorder != nil && (kind == "place" || kind == "complete") {
+		//lint:allocfree monitoring path: the recorder amortizes per closed window, not per event, and the gated tick benchmark runs with Recorder == nil
 		s.params.Recorder.Observe(s.mgr, now, s.sus.Len())
 	}
 }
@@ -999,6 +1016,7 @@ func (s *Simulator) debugCheck() {
 	if !s.params.Debug || s.err != nil {
 		return
 	}
+	//lint:allocfree debug-only path: guarded by params.Debug, which is off on the gated hot path
 	if err := s.mgr.CheckInvariants(); err != nil {
 		s.fail(err)
 		return

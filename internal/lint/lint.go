@@ -41,8 +41,14 @@ type Analyzer struct {
 	// Scope, when non-nil, restricts the analyzer to packages whose
 	// import path it accepts; nil means every package.
 	Scope func(pkgPath string) bool
-	// Run performs the check over one package.
+	// Run performs the check over one package. Exactly one of Run
+	// and RunProgram is set.
 	Run func(*Pass) error
+	// RunProgram performs the check once over the whole loaded
+	// program (every package merged over the shared FileSet) — for
+	// the cross-function dataflow analyzers, whose findings may sit
+	// in a different package than the root that reaches them.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass provides one analyzer with one type-checked package.
@@ -164,7 +170,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			if a.Scope != nil && !a.Scope(pkg.Path) {
+			if a.Run == nil || (a.Scope != nil && !a.Scope(pkg.Path)) {
 				continue
 			}
 			pass := &Pass{
@@ -197,6 +203,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			}
 		}
 	}
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = NewProgram(pkgs)
+		}
+		pp := &ProgramPass{Analyzer: a, Program: prog, diags: &diags}
+		if err := a.RunProgram(pp); err != nil {
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("internal error: %v", err),
+			})
+		}
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -213,9 +235,40 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// Analyzers returns the full DReAMSim suite in stable order.
+// Analyzers returns the full DReAMSim suite in stable order: the
+// single-package AST analyzers first, then the whole-program
+// dataflow analyzers.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{DetRand, MapOrder, Metering, SeedFlow}
+	return []*Analyzer{DetRand, MapOrder, Metering, SeedFlow, AllocFree, SharedState, RNGFlow}
+}
+
+// An Exception is one //lint:NAME justification directive — the
+// reviewable inventory of everything the suite is told to accept.
+type Exception struct {
+	Pos    token.Position
+	Name   string
+	Reason string
+}
+
+// Exceptions returns every //lint: directive in the loaded packages,
+// sorted by position.
+func Exceptions(pkgs []*Package) []Exception {
+	var out []Exception
+	for _, pkg := range pkgs {
+		for _, file := range pkg.directives {
+			for _, d := range file {
+				out = append(out, Exception{Pos: d.pos, Name: d.name, Reason: d.reason})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
 }
 
 // pathHasSuffix reports whether pkgPath ends with the given

@@ -35,6 +35,9 @@ func TestAnalyzers(t *testing.T) {
 		{"maporder", []*Analyzer{MapOrder}},
 		{"metering", []*Analyzer{Metering}},
 		{"seedflow", []*Analyzer{SeedFlow}},
+		{"allocfree", []*Analyzer{AllocFree}},
+		{"sharedstate", []*Analyzer{SharedState}},
+		{"rngflow", []*Analyzer{RNGFlow}},
 		{"directive", Analyzers()},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,515 @@
+// The rngflow analyzer: RNG substream confinement. The simulator's
+// byte-identical parallel runs rest on every *rng.RNG substream
+// having exactly one owner: a per-class, per-worker, or per-subsystem
+// stream is derived (rng.New, Split) by the scope that will consume
+// it, and once a stream is donated — stored into longer-lived memory
+// or passed to a callee that retains it (per the dataflow retention
+// summaries) — the donating scope must not touch it again. Two
+// owners drawing from one xorshift state consume each other's
+// variates in scheduling-dependent order, which breaks determinism
+// silently.
+//
+// Rules, in the order they are checked at each site:
+//
+//  1. use-after-donation — a substream variable used (drawn from,
+//     re-donated, stored) after the scope gave it away;
+//  2. donating a stream the scope does not own — one read out of a
+//     field, slice element, or captured variable (another scope's
+//     stream) and handed to a retainer. Deriving an independent
+//     substream with Split is the fix in both cases.
+//
+// Ownership origins: rng.New and (*RNG).Split results and free
+// (constructor) functions returning a *rng.RNG are fresh; a *rng.RNG
+// parameter is owned (the caller donated it); a field, element,
+// captured read, or accessor-method result is another scope's
+// stream.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// RNGFlow confines RNG substreams to the scope that derived them.
+var RNGFlow = &Analyzer{
+	Name: "rngflow",
+	Doc: "an *rng.RNG substream must stay confined to the scope that " +
+		"derived it: no use after donation, no donation of a stream " +
+		"owned elsewhere — derive substreams with Split instead",
+	RunProgram: runRNGFlow,
+}
+
+type rngOrigin int
+
+const (
+	rngFresh rngOrigin = iota // rng.New / Split / constructor result
+	rngParam                  // received from the caller, owned here
+	rngAlias                  // read out of another scope's memory
+)
+
+type rngState struct {
+	origin     rngOrigin
+	originDesc string
+	donatedPos token.Pos
+	donatedTo  string
+}
+
+func runRNGFlow(pp *ProgramPass) error {
+	for _, fi := range pp.Program.Ordered {
+		w := &rngWalker{prog: pp.Program, pp: pp, fi: fi, state: map[*types.Var]*rngState{}}
+		w.block(fi.Decl.Body)
+	}
+	return nil
+}
+
+type rngWalker struct {
+	prog  *Program
+	pp    *ProgramPass
+	fi    *FuncInfo
+	state map[*types.Var]*rngState
+}
+
+func (w *rngWalker) info() *types.Info { return w.fi.Pkg.Info }
+
+// isRNGPtr reports whether t is *rng.RNG (by name, so fixtures with
+// their own internal/rng mirror work too).
+func isRNGPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "RNG" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/rng")
+}
+
+// rngVar resolves e to a tracked RNG variable, registering it lazily
+// (a parameter is owned; anything else first seen as a bare variable
+// is treated as owned too — its own definition sites set the origin).
+func (w *rngWalker) rngVar(e ast.Expr) *rngState {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := w.info().ObjectOf(id).(*types.Var)
+	if !ok || !isRNGPtr(v.Type()) {
+		return nil
+	}
+	st, ok := w.state[v]
+	if !ok {
+		st = &rngState{origin: rngParam, originDesc: v.Name()}
+		if w.fi.paramIndex(v) < 0 {
+			st.origin = rngFresh
+		}
+		w.state[v] = st
+	}
+	return st
+}
+
+// classifyRHS determines the ownership of an RNG-typed expression
+// being bound to a variable.
+func (w *rngWalker) classifyRHS(e ast.Expr) *rngState {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if st := w.rngVar(x); st != nil {
+			return st // share state: two names, one stream
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return &rngState{origin: rngAlias, originDesc: exprText(e)}
+	case *ast.CallExpr:
+		callee := StaticCallee(w.info(), x)
+		if callee == nil {
+			return &rngState{origin: rngFresh}
+		}
+		sig := callee.Type().(*types.Signature)
+		if recv := sig.Recv(); recv != nil {
+			if callee.Name() == "Split" && isRNGPtr(behindPointer(recv.Type())) {
+				return &rngState{origin: rngFresh}
+			}
+			// An accessor method returning a stream exposes another
+			// scope's RNG.
+			return &rngState{origin: rngAlias, originDesc: exprText(x)}
+		}
+		return &rngState{origin: rngFresh} // free function: constructor
+	}
+	return &rngState{origin: rngFresh}
+}
+
+func behindPointer(t types.Type) types.Type {
+	if _, ok := t.(*types.Pointer); ok {
+		return t
+	}
+	return types.NewPointer(t)
+}
+
+// use flags a draw/read of a donated stream.
+func (w *rngWalker) use(e ast.Expr, pos token.Pos) {
+	st := w.rngVar(e)
+	if st == nil || !st.donatedPos.IsValid() {
+		return
+	}
+	w.pp.Reportf(pos,
+		"RNG substream %s is used after being donated to %s; two owners of one stream break substream independence — derive a new substream with Split",
+		exprText(e), st.donatedTo)
+}
+
+// donate flags donation of a non-owned stream, then records the
+// transfer.
+func (w *rngWalker) donate(e ast.Expr, to string, pos token.Pos) {
+	if st := w.rngVar(e); st != nil {
+		w.use(e, pos) // a second donation is a use of the first
+		if st.origin == rngAlias {
+			w.pp.Reportf(pos,
+				"RNG owned by %s is donated to %s; derive an independent substream with Split instead of sharing the stream",
+				st.originDesc, to)
+			return
+		}
+		if !st.donatedPos.IsValid() {
+			st.donatedPos = pos
+			st.donatedTo = to
+		}
+		return
+	}
+	// Donating an aliasing expression directly (s.r, arr[i]).
+	switch ast.Unparen(e).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		w.pp.Reportf(pos,
+			"RNG owned by %s is donated to %s; derive an independent substream with Split instead of sharing the stream",
+			exprText(e), to)
+	}
+}
+
+func (w *rngWalker) block(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, st := range b.List {
+		w.stmt(st)
+	}
+}
+
+func (w *rngWalker) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			w.expr(rhs)
+		}
+		for i, lhs := range st.Lhs {
+			if i >= len(st.Rhs) {
+				break
+			}
+			rhs := st.Rhs[i]
+			if t := w.info().TypeOf(rhs); t == nil || !isRNGPtr(t) {
+				continue
+			}
+			if st.Tok == token.DEFINE {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if v, ok := w.info().Defs[id].(*types.Var); ok {
+						w.use(rhs, rhs.Pos())
+						w.state[v] = w.classifyRHS(rhs)
+					}
+				}
+				continue
+			}
+			switch target := ast.Unparen(lhs).(type) {
+			case *ast.Ident:
+				// Rebinding a variable: it now names the RHS stream.
+				w.use(rhs, rhs.Pos())
+				if v, ok := w.info().ObjectOf(target).(*types.Var); ok {
+					w.state[v] = w.classifyRHS(rhs)
+				}
+			default:
+				// Storing into a field, element, or pointee donates
+				// the stream to that memory's owner.
+				w.donate(rhs, exprText(lhs), rhs.Pos())
+			}
+		}
+	case *ast.ExprStmt:
+		w.expr(st.X)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			w.expr(r)
+			if t := w.info().TypeOf(r); t != nil && isRNGPtr(t) {
+				// Returning transfers ownership to the caller; a
+				// field read returned by an accessor is legitimate
+				// exposure, so only variables are tracked.
+				if s := w.rngVar(r); s != nil {
+					w.use(r, r.Pos())
+					if !s.donatedPos.IsValid() {
+						s.donatedPos = r.Pos()
+						s.donatedTo = "the caller"
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(st.Chan)
+		w.expr(st.Value)
+		if t := w.info().TypeOf(st.Value); t != nil && isRNGPtr(t) {
+			w.donate(st.Value, "a channel", st.Value.Pos())
+		}
+	case *ast.IncDecStmt:
+		w.expr(st.X)
+	case *ast.IfStmt:
+		// The two branches are mutually exclusive: a donation in one
+		// must not count as prior donation in the other, and a branch
+		// that terminates (returns/panics) never rejoins the fall-
+		// through path at all.
+		w.stmtOpt(st.Init)
+		w.expr(st.Cond)
+		snap := w.snapshot()
+		w.block(st.Body)
+		var thenOut donationSnap
+		if !blockTerminates(st.Body) {
+			thenOut = w.snapshot()
+		}
+		w.restore(snap)
+		if st.Else != nil {
+			w.stmt(st.Else)
+			if stmtTerminates(st.Else) {
+				w.restore(snap)
+			}
+		}
+		w.applyDonations(thenOut)
+	case *ast.ForStmt:
+		w.stmtOpt(st.Init)
+		if st.Cond != nil {
+			w.expr(st.Cond)
+		}
+		w.stmtOpt(st.Post)
+		w.block(st.Body)
+	case *ast.RangeStmt:
+		w.expr(st.X)
+		w.block(st.Body)
+	case *ast.SwitchStmt:
+		w.stmtOpt(st.Init)
+		if st.Tag != nil {
+			w.expr(st.Tag)
+		}
+		snap := w.snapshot()
+		var outs []donationSnap
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e)
+			}
+			for _, s := range cc.Body {
+				w.stmt(s)
+			}
+			if n := len(cc.Body); n == 0 || !stmtTerminates(cc.Body[n-1]) {
+				outs = append(outs, w.snapshot())
+			}
+			w.restore(snap)
+		}
+		for _, out := range outs {
+			w.applyDonations(out)
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmtOpt(st.Init)
+		w.stmtOpt(st.Assign)
+		for _, cl := range st.Body.List {
+			for _, s := range cl.(*ast.CaseClause).Body {
+				w.stmt(s)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			w.stmtOpt(cc.Comm)
+			for _, s := range cc.Body {
+				w.stmt(s)
+			}
+		}
+	case *ast.BlockStmt:
+		w.block(st)
+	case *ast.DeferStmt:
+		w.expr(st.Call)
+	case *ast.GoStmt:
+		w.expr(st.Call)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						if i >= len(vs.Values) {
+							break
+						}
+						w.expr(vs.Values[i])
+						if v, ok := w.info().Defs[name].(*types.Var); ok && isRNGPtr(v.Type()) {
+							w.state[v] = w.classifyRHS(vs.Values[i])
+						}
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	}
+}
+
+func (w *rngWalker) stmtOpt(st ast.Stmt) {
+	if st != nil {
+		w.stmt(st)
+	}
+}
+
+// rngDonation is one stream's donation state, for branch snapshots.
+type rngDonation struct {
+	pos token.Pos
+	to  string
+}
+
+type donationSnap map[*rngState]rngDonation
+
+// snapshot captures every tracked stream's donation state.
+func (w *rngWalker) snapshot() donationSnap {
+	s := donationSnap{}
+	for _, st := range w.state {
+		s[st] = rngDonation{st.donatedPos, st.donatedTo}
+	}
+	return s
+}
+
+// restore rewinds donation state to a snapshot; streams first tracked
+// after the snapshot are reset to undonated.
+func (w *rngWalker) restore(s donationSnap) {
+	for _, st := range w.state {
+		if d, ok := s[st]; ok {
+			st.donatedPos, st.donatedTo = d.pos, d.to
+		} else {
+			st.donatedPos, st.donatedTo = token.NoPos, ""
+		}
+	}
+}
+
+// applyDonations merges a branch's exit state back in: a stream
+// donated on any non-terminating branch is donated afterwards.
+func (w *rngWalker) applyDonations(s donationSnap) {
+	for st, d := range s {
+		if d.pos.IsValid() && !st.donatedPos.IsValid() {
+			st.donatedPos, st.donatedTo = d.pos, d.to
+		}
+	}
+}
+
+// blockTerminates reports whether the block always transfers control
+// away (return, panic, break/continue/goto).
+func blockTerminates(b *ast.BlockStmt) bool {
+	return b != nil && len(b.List) > 0 && stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return blockTerminates(s)
+	case *ast.IfStmt:
+		return blockTerminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	}
+	return false
+}
+
+func (w *rngWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		w.call(e)
+	case *ast.FuncLit:
+		w.block(e.Body)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			w.expr(v)
+			if t := w.info().TypeOf(v); t != nil && isRNGPtr(t) {
+				w.donate(v, fmt.Sprintf("a %s literal", typeName(w.info().TypeOf(e))), v.Pos())
+			}
+		}
+	case *ast.BinaryExpr:
+		w.expr(e.X)
+		w.expr(e.Y)
+	case *ast.UnaryExpr:
+		w.expr(e.X)
+	case *ast.StarExpr:
+		w.expr(e.X)
+	case *ast.ParenExpr:
+		w.expr(e.X)
+	case *ast.SelectorExpr:
+		w.expr(e.X)
+	case *ast.IndexExpr:
+		w.expr(e.X)
+		w.expr(e.Index)
+	case *ast.SliceExpr:
+		w.expr(e.X)
+		w.expr(e.Low)
+		w.expr(e.High)
+		w.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X)
+	case *ast.KeyValueExpr:
+		w.expr(e.Value)
+	}
+}
+
+// call checks RNG-typed receiver and arguments: a receiver is a use;
+// an argument at a retained position is a donation, otherwise a use.
+func (w *rngWalker) call(call *ast.CallExpr) {
+	if tv, ok := w.info().Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			w.expr(a)
+		}
+		return
+	}
+	callee := StaticCallee(w.info(), call)
+
+	// Method receiver: drawing from the stream is a use.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if t := w.info().TypeOf(sel.X); t != nil && isRNGPtr(t) {
+			w.use(sel.X, sel.X.Pos())
+		} else {
+			w.expr(sel.X)
+		}
+	}
+
+	cfi := w.prog.FuncOf(callee)
+	var argBase int
+	if callee != nil && callee.Type().(*types.Signature).Recv() != nil {
+		argBase = 1
+	}
+	for i, a := range call.Args {
+		w.expr(a)
+		t := w.info().TypeOf(a)
+		if t == nil || !isRNGPtr(t) {
+			continue
+		}
+		retained := true // unknown callee: assume it keeps the stream
+		if cfi != nil {
+			retained = cfi.Summary.RetainsParam[argBase+i]
+		}
+		to := "a callee"
+		if callee != nil {
+			to = shortFuncName(callee)
+		}
+		if retained {
+			w.donate(a, to, a.Pos())
+		} else {
+			w.use(a, a.Pos())
+		}
+	}
+}

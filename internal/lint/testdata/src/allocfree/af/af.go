@@ -1,0 +1,147 @@
+// Package af exercises the allocfree analyzer: //dreamsim:noalloc
+// roots must be allocation-free across their static call closure,
+// with the amortized-growth and abort-path exemptions.
+package af
+
+import (
+	"fmt"
+	"sort"
+)
+
+const debug = false
+
+// T is the pooled element type the positive cases allocate.
+type T struct{ n int }
+
+func (t *T) inc() { t.n++ }
+
+type pool struct{ free []*T }
+
+//dreamsim:noalloc
+func Direct(n int) []int {
+	return make([]int, n) // want `make allocates in //dreamsim:noalloc closure of Direct`
+}
+
+//dreamsim:noalloc
+func Transitive() *T {
+	return helper()
+}
+
+func helper() *T {
+	return &T{n: 1} // want `&af.T composite literal escapes to the heap in //dreamsim:noalloc closure of Transitive via helper`
+}
+
+//dreamsim:noalloc
+func Literals() {
+	_ = []int{1, 2}       // want `slice literal allocates`
+	_ = map[int]int{1: 2} // want `map literal allocates`
+}
+
+//dreamsim:noalloc
+func Convert(bs []byte) string {
+	return string(bs) // want `string\(\.\.\.\) conversion from a slice allocates`
+}
+
+//dreamsim:noalloc
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//dreamsim:noalloc
+func Spawn() {
+	go noop() // want `go statement allocates a goroutine`
+}
+
+func noop() {}
+
+//dreamsim:noalloc
+func CallsOwnParam(f func() int) int {
+	return f() // each caller proves the value it passes: no finding
+}
+
+//dreamsim:noalloc
+func Rebound(f func() int) int {
+	g := f
+	return g() // want `dynamic call of g cannot be proven allocation-free`
+}
+
+//dreamsim:noalloc
+func External(x int) string {
+	return fmt.Sprintf("%d", x) // want `call to fmt.Sprintf \(outside the checked program\) cannot be proven allocation-free`
+}
+
+//dreamsim:noalloc
+func Allowed(xs []int, target int) int {
+	// sort.Search is allowlisted and known not to retain the closure.
+	return sort.Search(len(xs), func(i int) bool { return xs[i] >= target })
+}
+
+//dreamsim:noalloc
+func AbortPaths(x int) error {
+	if x < 0 {
+		panic(fmt.Sprintf("negative: %d", x)) // panic argument construction is abort-path
+	}
+	if x > 0 {
+		return fmt.Errorf("positive: %d", x) // error construction is abort-path
+	}
+	return nil
+}
+
+//dreamsim:noalloc
+func DeadBranch(x int) int {
+	if debug && x > 0 {
+		return len(fmt.Sprintf("%d", x)) // constant-false guard: the branch is dead
+	}
+	return x
+}
+
+//dreamsim:noalloc
+func AppendAmortized(dst []int, v int) []int {
+	return append(dst, v) // amortized growth is exempt
+}
+
+//dreamsim:noalloc
+func PoolGet(p *pool) *T {
+	n := len(p.free)
+	if n == 0 {
+		//lint:allocfree pool miss, amortized away at steady state
+		return &T{}
+	}
+	t := p.free[n-1]
+	p.free = p.free[:n-1]
+	return t
+}
+
+//dreamsim:noalloc
+func PrunedEdge() {
+	//lint:allocfree opt-in monitoring path, never taken on the gated loop
+	monitorTick()
+}
+
+func monitorTick() []int {
+	return make([]int, 8) // the justified edge above prunes this subtree
+}
+
+//dreamsim:noalloc
+func Variadic() {
+	sink(1, 2, 3) // want `variadic call to af.sink allocates its argument slice`
+}
+
+func sink(vs ...int) {
+	_ = vs
+}
+
+//dreamsim:noalloc
+func Closures(n int) {
+	_ = func() int { return 0 } // capture-free literals are static
+	_ = func() int { return n } // want `func literal capturing n allocates a closure`
+}
+
+//dreamsim:noalloc
+func MethodValue(t *T) {
+	runCB(t.inc) // want `method value t.inc allocates a closure`
+}
+
+func runCB(f func()) {
+	f()
+}

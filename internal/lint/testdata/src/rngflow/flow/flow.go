@@ -1,0 +1,73 @@
+// Package flow exercises the rngflow analyzer: an *rng.RNG substream
+// must stay confined to the scope that derived it — once a stream is
+// donated (stored into longer-lived memory or passed to a retaining
+// callee), the donor must not touch it again.
+package flow
+
+import "dreamsim/internal/lint/testdata/src/rngflow/internal/rng"
+
+type holder struct{ r *rng.RNG }
+
+var sink *rng.RNG
+
+// keep retains its argument: the caller donates the stream.
+func keep(r *rng.RNG) { sink = r }
+
+// draw only reads: the caller keeps ownership.
+func draw(r *rng.RNG) float64 { return r.Float64() }
+
+func UseAfterDonate(seed uint64) float64 {
+	r := rng.New(seed)
+	keep(r)
+	return r.Float64() // want `RNG substream r is used after being donated to flow.keep`
+}
+
+func SecondDonation(seed uint64) {
+	r := rng.New(seed)
+	keep(r)
+	keep(r) // want `RNG substream r is used after being donated to flow.keep`
+}
+
+func DonateAlias(h *holder) {
+	keep(h.r) // want `RNG owned by h.r is donated to flow.keep`
+}
+
+func SplitDerived(h *holder) {
+	sub := h.r.Split()
+	keep(sub) // a fresh substream handed off: safe
+}
+
+func StoreDonates(seed uint64) float64 {
+	r := rng.New(seed)
+	h := holder{r: r}
+	_ = h
+	return r.Float64() // want `RNG substream r is used after being donated to a flow.holder literal`
+}
+
+func FieldStoreDonates(seed uint64, h *holder) float64 {
+	r := rng.New(seed)
+	h.r = r
+	return r.Float64() // want `RNG substream r is used after being donated to h.r`
+}
+
+func BranchExclusive(seed uint64, scenario bool) {
+	r := rng.New(seed)
+	if scenario {
+		keep(r)
+	} else {
+		keep(r) // exclusive branches: only one donation happens
+	}
+}
+
+func EarlyReturnDonation(seed uint64, degenerate bool) float64 {
+	r := rng.New(seed)
+	if degenerate {
+		keep(r)
+		return 0
+	}
+	return r.Float64() // the donating branch returned: safe
+}
+
+func NonRetainingCallee(h *holder) float64 {
+	return draw(h.r) // draw keeps nothing: reading another scope's stream is fine
+}

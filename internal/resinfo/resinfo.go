@@ -185,6 +185,8 @@ func (m *Manager) ChargeHousekeeping(n uint64) { m.housekeep(n) }
 // when the preferred configuration does not exist. The fast path
 // answers from a hash map but charges the steps the walk would have
 // taken: the position of the hit, or the whole list on a miss.
+//
+//dreamsim:noalloc
 func (m *Manager) FindPreferredConfig(cfgNo int) *model.Config {
 	if m.cfgPos != nil {
 		if pos, ok := m.cfgPos[cfgNo]; ok {
@@ -210,6 +212,8 @@ func (m *Manager) FindPreferredConfig(cfgNo int) *model.Config {
 // whose ReqArea is minimal among all configurations with ReqArea ≥
 // neededArea (paper §IV-C). It returns nil when no configuration is
 // large enough.
+//
+//dreamsim:noalloc
 func (m *Manager) FindClosestConfig(neededArea model.Area) *model.Config {
 	if m.cfgByArea != nil {
 		// The linear scan keeps the first config holding the minimal
@@ -240,6 +244,8 @@ func (m *Manager) FindClosestConfig(neededArea model.Area) *model.Config {
 // Configure sends the bitstream of cfg to node (paper SendBitstream):
 // the new idle region is linked into cfg's idle list and the
 // reconfiguration counters and Eq. 10 configuration time accumulate.
+//
+//dreamsim:noalloc
 func (m *Manager) Configure(node *model.Node, cfg *model.Config) (*model.Entry, error) {
 	var spare *model.Entry
 	if n := len(m.entryFree) - 1; n >= 0 {
@@ -264,6 +270,8 @@ func (m *Manager) Configure(node *model.Node, cfg *model.Config) (*model.Entry, 
 
 // EvictIdle removes the given idle regions from their node
 // (paper MakeNodePartiallyBlank) and unlinks them from the idle lists.
+//
+//dreamsim:noalloc
 func (m *Manager) EvictIdle(node *model.Node, victims []*model.Entry) error {
 	if err := node.MakeNodePartiallyBlank(victims); err != nil {
 		return err
@@ -288,6 +296,8 @@ func (m *Manager) recycleEntry(e *model.Entry) {
 
 // BlankNode strips every configuration from node (paper
 // MakeNodeBlank) and unlinks the regions from their lists.
+//
+//dreamsim:noalloc
 func (m *Manager) BlankNode(node *model.Node) error {
 	removed, err := node.MakeNodeBlank()
 	if err != nil {
@@ -341,6 +351,8 @@ func (m *Manager) RecoverNode(node *model.Node) error {
 
 // StartTask places task on the idle region e (paper AddTaskToNode)
 // and moves the region to its configuration's busy list.
+//
+//dreamsim:noalloc
 func (m *Manager) StartTask(e *model.Entry, task *model.Task) error {
 	if err := e.Node.AddTaskToNode(e, task); err != nil {
 		return err
@@ -352,6 +364,8 @@ func (m *Manager) StartTask(e *model.Entry, task *model.Task) error {
 
 // FinishTask detaches task from node (paper RemoveTaskFromNode); the
 // region stays configured and returns to its idle list.
+//
+//dreamsim:noalloc
 func (m *Manager) FinishTask(node *model.Node, task *model.Task) (*model.Entry, error) {
 	e, err := node.RemoveTaskFromNode(task)
 	if err != nil {
@@ -368,6 +382,8 @@ func (m *Manager) FinishTask(node *model.Node, task *model.Task) (*model.Entry, 
 // re-configurations", §V). In full-reconfiguration mode an idle entry
 // is only usable if its node runs nothing else; the filter is built
 // in because the idle lists thread regions, not whole nodes.
+//
+//dreamsim:noalloc
 func (m *Manager) BestIdleEntry(cfgNo int) *model.Entry {
 	best, steps := m.Pair(cfgNo).Idle.FindMin(
 		func(e *model.Entry) bool {
@@ -384,6 +400,8 @@ func (m *Manager) BestIdleEntry(cfgNo int) *model.Entry {
 // TotalArea. The fast path answers the same query from the blank-node
 // index in O(log n); the walk always visits every node, so the whole
 // list is charged in both modes.
+//
+//dreamsim:noalloc
 func (m *Manager) BestBlankNode(cfg *model.Config) *model.Node {
 	if m.idx != nil {
 		m.search(uint64(len(m.nodes)))
@@ -408,6 +426,8 @@ func (m *Manager) BestBlankNode(cfg *model.Config) *model.Node {
 // configuration phase, §V). Only meaningful in partial mode;
 // full-mode nodes never qualify because a configured full-mode node
 // has its fabric committed.
+//
+//dreamsim:noalloc
 func (m *Manager) BestPartiallyBlankNode(cfg *model.Config) *model.Node {
 	if m.idx != nil {
 		m.search(uint64(len(m.nodes)))
@@ -439,6 +459,8 @@ func (m *Manager) BestPartiallyBlankNode(cfg *model.Config) *model.Node {
 // until the next placement search, which is exactly long enough for
 // the scheduler to consume the decision (sched.Apply evicts before
 // anything else runs). Callers that retain it longer must copy.
+//
+//dreamsim:noalloc
 func (m *Manager) FindAnyIdleNode(cfg *model.Config) (*model.Node, []*model.Entry) {
 	reqArea := cfg.ReqArea
 	var steps uint64
@@ -473,6 +495,8 @@ func (m *Manager) FindAnyIdleNode(cfg *model.Config) (*model.Node, []*model.Entr
 // rather than discarding a task ("explores the list of all busy
 // nodes to search at least one currently busy node with sufficient
 // TotalArea").
+//
+//dreamsim:noalloc
 func (m *Manager) AnyBusyNodeCouldFit(cfg *model.Config) bool {
 	if m.idx != nil {
 		// The linear walk exits at the first match, so the charge is

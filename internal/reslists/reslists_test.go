@@ -381,3 +381,52 @@ func BenchmarkListAddRemove(b *testing.B) {
 		}
 	}
 }
+
+// TestSusQueueSteadyStateZeroAlloc pins the element pool: add/remove
+// churn at a warmed depth must recycle elements instead of allocating
+// one linked-list node per suspension.
+func TestSusQueueSteadyStateZeroAlloc(t *testing.T) {
+	q := NewSusQueue()
+	tasks := []*model.Task{mkTask(1), mkTask(2), mkTask(3)}
+	for _, task := range tasks { // warm the pool to depth 3
+		q.Add(task)
+	}
+	for _, task := range tasks {
+		q.Remove(task)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		for _, task := range tasks {
+			q.Add(task)
+		}
+		for _, task := range tasks {
+			q.Remove(task)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state suspend/retry churn allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSusQueueAppendTasks pins the recycled-snapshot form used by the
+// drain loop: FIFO order into a reused backing array, no allocation
+// once the array fits the queue.
+func TestSusQueueAppendTasks(t *testing.T) {
+	q := NewSusQueue()
+	tasks := []*model.Task{mkTask(1), mkTask(2), mkTask(3)}
+	for _, task := range tasks {
+		q.Add(task)
+	}
+	scratch := q.AppendTasks(nil)
+	if len(scratch) != 3 || scratch[0] != tasks[0] || scratch[1] != tasks[1] || scratch[2] != tasks[2] {
+		t.Fatalf("AppendTasks order: %v", scratch)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = q.AppendTasks(scratch[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTasks into a fitting array allocates %v allocs/op, want 0", allocs)
+	}
+	if got := q.Tasks(); len(got) != 3 {
+		t.Fatalf("Tasks after AppendTasks: %v", got)
+	}
+}

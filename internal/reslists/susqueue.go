@@ -22,6 +22,9 @@ type SusQueue struct {
 	size       int
 	// peak tracks the maximum depth reached, for reporting.
 	peak int
+	// free recycles unlinked elements so steady-state suspend/retry
+	// churn allocates nothing.
+	free []*susElem
 }
 
 // NewSusQueue returns an empty suspension queue.
@@ -47,7 +50,8 @@ func (q *SusQueue) Add(task *model.Task) {
 	if q.Contains(task) {
 		panic(fmt.Sprintf("reslists: suspension queue double insert of %v", task))
 	}
-	el := &susElem{task: task, prev: q.tail}
+	el := q.alloc()
+	el.task, el.prev = task, q.tail
 	if q.tail != nil {
 		q.tail.next = el
 	} else {
@@ -82,7 +86,27 @@ func (q *SusQueue) Remove(task *model.Task) bool {
 	}
 	delete(q.index, task)
 	q.size--
+	q.release(el)
 	return true
+}
+
+// alloc draws a zeroed element from the free list, or a fresh one.
+func (q *SusQueue) alloc() *susElem {
+	n := len(q.free)
+	if n == 0 {
+		//lint:allocfree pool miss: one element per suspension-depth high-water mark, amortized to zero in steady state
+		return &susElem{}
+	}
+	el := q.free[n-1]
+	q.free[n-1] = nil
+	q.free = q.free[:n-1]
+	return el
+}
+
+// release returns an unlinked element to the free list.
+func (q *SusQueue) release(el *susElem) {
+	*el = susElem{}
+	q.free = append(q.free, el)
 }
 
 // Each walks the queue in FIFO order (the paper's SearchSusQueue),
@@ -104,11 +128,19 @@ func (q *SusQueue) Each(visit func(*model.Task) bool) (steps uint64) {
 
 // Tasks returns the queued tasks in FIFO order (for reports).
 func (q *SusQueue) Tasks() []*model.Task {
-	out := make([]*model.Task, 0, q.size)
+	return q.AppendTasks(nil)
+}
+
+// AppendTasks appends the queued tasks in FIFO order to dst and
+// returns the extended slice — the allocation-free form of Tasks for
+// callers that recycle the backing array across passes.
+//
+//dreamsim:noalloc
+func (q *SusQueue) AppendTasks(dst []*model.Task) []*model.Task {
 	for el := q.head; el != nil; el = el.next {
-		out = append(out, el.task)
+		dst = append(dst, el.task)
 	}
-	return out
+	return dst
 }
 
 // CheckInvariants validates linkage and index consistency.

@@ -102,8 +102,10 @@ func RunMatrix(base Params, nodeCounts, taskCounts []int, onCell func(Cell)) (*M
 				return fmt.Errorf("dreamsim: matrix cell %d nodes/%d tasks: %w", cell.Nodes, cell.Tasks, err)
 			}
 			if p.PartialReconfig {
+				//lint:sharedstate units 2k and 2k+1 share cell u/2 but write disjoint fields (Partial vs Full), and readers are ordered after both writes by the pending[u/2] atomic decrement
 				cell.Partial = res
 			} else {
+				//lint:sharedstate units 2k and 2k+1 share cell u/2 but write disjoint fields (Partial vs Full), and readers are ordered after both writes by the pending[u/2] atomic decrement
 				cell.Full = res
 			}
 			// The half that completes the cell reports it; the atomic

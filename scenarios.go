@@ -87,8 +87,10 @@ func RunScenarioSet(base Params, set []NamedScenario, onCell func(ScenarioCell))
 				return fmt.Errorf("dreamsim: scenario %q: %w", cell.Name, err)
 			}
 			if p.PartialReconfig {
+				//lint:sharedstate units 2k and 2k+1 share cell u/2 but write disjoint fields (Partial vs Full), and readers are ordered after both writes by the pending[u/2] atomic decrement
 				cell.Partial = res
 			} else {
+				//lint:sharedstate units 2k and 2k+1 share cell u/2 but write disjoint fields (Partial vs Full), and readers are ordered after both writes by the pending[u/2] atomic decrement
 				cell.Full = res
 			}
 			if pending[u/2].Add(-1) == 0 && onCell != nil {
