@@ -45,6 +45,14 @@ type sweep struct {
 	Nodes       int     `json:"nodes,omitempty"`
 	Tasks       int     `json:"tasks,omitempty"`
 	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
+	// Checkpoint-overhead cell only: the uncheckpointed twin's
+	// duration, the snapshot cadence/count/size, and the fractional
+	// slowdown the periodic snapshots cost.
+	NsBaseline      int64   `json:"ns_baseline,omitempty"`
+	CheckpointEvery uint64  `json:"checkpoint_every,omitempty"`
+	Snapshots       int     `json:"snapshots,omitempty"`
+	SnapshotBytes   int     `json:"snapshot_bytes,omitempty"`
+	OverheadPct     float64 `json:"checkpoint_overhead_pct,omitempty"`
 }
 
 // report is the BENCH_<date>.json schema.
@@ -71,6 +79,9 @@ func main() {
 		noLarge   = flag.Bool("no-large", false, "skip the large-scale streamed cell")
 		largeN    = flag.Int("large-nodes", 2000, "node count of the large-scale streamed cell")
 		largeT    = flag.Int("large-tasks", 250000, "task count of the large-scale streamed cell")
+		noCkpt    = flag.Bool("no-checkpoint", false, "skip the checkpoint-overhead cell")
+		ckptT     = flag.Int("checkpoint-tasks", 20000, "task count of the checkpoint-overhead cell")
+		ckptEvery = flag.Uint64("checkpoint-every", 10000, "snapshot cadence (events) of the checkpoint-overhead cell")
 		outDir    = flag.String("out", "", "directory for BENCH_<date>.json (default: print to stdout only)")
 		compare   = flag.Bool("compare", false, "compare two BENCH files: dreambench -compare old.json new.json (exit 1 on regression)")
 		tolerance = flag.Float64("tolerance", 0.10, "fractional cells/sec slowdown -compare tolerates per sweep")
@@ -181,6 +192,80 @@ func main() {
 		}
 	}
 
+	// mkCheckpointSweep times one run driven through the checkpointed
+	// API twice — once straight to completion, once snapshotting every
+	// ckEvery events — and reports the snapshot cadence's cost: the
+	// number every dreamserve operator trades off against how much
+	// work a kill may lose.
+	mkCheckpointSweep := func(tasks int, ckEvery uint64) sweep {
+		p := base
+		p.Nodes = 100
+		p.Tasks = tasks
+		timeCk := func(every uint64) (time.Duration, int, int) {
+			run, err := dreamsim.StartRun(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dreambench:", err)
+				os.Exit(1)
+			}
+			snaps, snapBytes := 0, 0
+			start := time.Now()
+			for {
+				var done bool
+				if every == 0 {
+					done = run.RunUntil(nil)
+				} else {
+					target := run.Processed() + every
+					done = run.RunUntil(func(_ int64, processed uint64) bool {
+						return processed >= target
+					})
+				}
+				if done {
+					break
+				}
+				snap, err := run.Snapshot()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dreambench:", err)
+					os.Exit(1)
+				}
+				snaps++
+				snapBytes = len(snap)
+			}
+			if _, err := run.Finish(); err != nil {
+				fmt.Fprintln(os.Stderr, "dreambench:", err)
+				os.Exit(1)
+			}
+			return time.Since(start), snaps, snapBytes
+		}
+		bestCk := func(every uint64) (time.Duration, int, int) {
+			d, snaps, bytes := timeCk(every)
+			for i := 1; i < *runs; i++ {
+				if r, s, b := timeCk(every); r < d {
+					d, snaps, bytes = r, s, b
+				}
+			}
+			return d, snaps, bytes
+		}
+		baseD, _, _ := bestCk(0)
+		ckD, snaps, snapBytes := bestCk(ckEvery)
+		overhead := (ckD.Seconds() - baseD.Seconds()) / baseD.Seconds() * 100
+		fmt.Fprintf(os.Stderr, "%-12s tasks=%-8d every=%-7d  %12v  (bare %v, %d snaps of %d B, +%.1f%%)\n",
+			"checkpoint", tasks, ckEvery, ckD, baseD, snaps, snapBytes, overhead)
+		return sweep{
+			Label:           "checkpoint",
+			Parallel:        1,
+			Runs:            *runs,
+			NsPerSweep:      ckD.Nanoseconds(),
+			Nodes:           p.Nodes,
+			Tasks:           tasks,
+			TasksPerSec:     float64(tasks) / ckD.Seconds(),
+			NsBaseline:      baseD.Nanoseconds(),
+			CheckpointEvery: ckEvery,
+			Snapshots:       snaps,
+			SnapshotBytes:   snapBytes,
+			OverheadPct:     overhead,
+		}
+	}
+
 	rep := report{
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -206,6 +291,9 @@ func main() {
 	}
 	if !*noLarge {
 		rep.Sweeps = append(rep.Sweeps, mkLargeSweep(*largeN, *largeT))
+	}
+	if !*noCkpt {
+		rep.Sweeps = append(rep.Sweeps, mkCheckpointSweep(*ckptT, *ckptEvery))
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -470,32 +470,9 @@ func runScratch(p Params, scratch *core.RunContext) (Result, error) {
 		return Result{}, err
 	}
 	cp.Scratch = scratch
-	var rec *monitor.Recorder
-	var timelineFile *os.File
-	if p.SampleEvery > 0 {
-		window := p.WindowSamples
-		if window == 0 && (p.Stream || p.TimelinePath != "") {
-			window = DefaultWindowSamples
-		}
-		switch {
-		case window > 0:
-			var sink func(monitor.WindowRow) error
-			if p.TimelinePath != "" {
-				f, ferr := os.Create(p.TimelinePath)
-				if ferr != nil {
-					return Result{}, ferr
-				}
-				timelineFile = f
-				sink = monitor.NewTimelineWriter(f).Write
-			}
-			rec = monitor.NewWindowRecorder(p.SampleEvery, window, sink)
-		default:
-			rec = monitor.NewRecorder(p.SampleEvery)
-		}
-		if cp.Scenario != nil && cp.Scenario.MultiClass() {
-			rec.Classes = len(cp.Scenario.Classes)
-		}
-		cp.Recorder = rec
+	rec, timelineFile, err := buildRecorder(p, &cp)
+	if err != nil {
+		return Result{}, err
 	}
 	closeTimeline := func() error {
 		if timelineFile == nil {
@@ -515,11 +492,59 @@ func runScratch(p Params, scratch *core.RunContext) (Result, error) {
 		closeTimeline()
 		return Result{}, err
 	}
+	out, err := assembleResult(res, cp, rec)
+	if err != nil {
+		closeTimeline()
+		return Result{}, err
+	}
+	if err := closeTimeline(); err != nil {
+		return Result{}, err
+	}
+	return out, nil
+}
+
+// buildRecorder constructs the run's monitoring recorder from the
+// sampling knobs and hooks it into the lowered parameters; rec is nil
+// when sampling is off. When Params.TimelinePath requests an
+// incremental timeline file the returned *os.File is the open sink
+// the caller must close after the run.
+func buildRecorder(p Params, cp *core.Params) (rec *monitor.Recorder, timelineFile *os.File, err error) {
+	if p.SampleEvery <= 0 {
+		return nil, nil, nil
+	}
+	window := p.WindowSamples
+	if window == 0 && (p.Stream || p.TimelinePath != "") {
+		window = DefaultWindowSamples
+	}
+	switch {
+	case window > 0:
+		var sink func(monitor.WindowRow) error
+		if p.TimelinePath != "" {
+			f, ferr := os.Create(p.TimelinePath)
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			timelineFile = f
+			sink = monitor.NewTimelineWriter(f).Write
+		}
+		rec = monitor.NewWindowRecorder(p.SampleEvery, window, sink)
+	default:
+		rec = monitor.NewRecorder(p.SampleEvery)
+	}
+	if cp.Scenario != nil && cp.Scenario.MultiClass() {
+		rec.Classes = len(cp.Scenario.Classes)
+	}
+	cp.Recorder = rec
+	return rec, timelineFile, nil
+}
+
+// assembleResult converts the engine result to the public form and
+// drains the monitoring recorder into it.
+func assembleResult(res *core.Result, cp core.Params, rec *monitor.Recorder) (Result, error) {
 	out := wrap(res, cp)
 	if rec != nil {
 		if rec.Windowed() {
 			if err := rec.FinishWindows(); err != nil {
-				closeTimeline()
 				return Result{}, err
 			}
 			for _, row := range rec.Windows() {
@@ -538,9 +563,6 @@ func runScratch(p Params, scratch *core.RunContext) (Result, error) {
 			}
 		}
 		out.timelineText = rec.Timeline(60)
-	}
-	if err := closeTimeline(); err != nil {
-		return Result{}, err
 	}
 	return out, nil
 }

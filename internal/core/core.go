@@ -162,6 +162,10 @@ type Simulator struct {
 	recycle workload.Recycler // non-nil only in streaming mode (Params.Stream)
 	sus     *reslists.SusQueue
 	c       *metrics.Counters
+	// policyRNG is the RandomFit placement stream when the core built
+	// the policy itself (nil otherwise); stashed so a checkpoint can
+	// capture and restore its position.
+	policyRNG *rng.RNG
 	// Per-traffic-class accounting, parallel slices indexed by
 	// model.Task.Class; nil unless the source declares >= 2 classes.
 	classNames []string
@@ -241,11 +245,13 @@ func New(params Params) (*Simulator, error) {
 		}
 	}
 	policy := params.Policy
+	var policyRNG *rng.RNG
 	if policy == nil {
 		opts := params.PolicyOptions
 		if opts.Placement == sched.RandomFit && opts.RNG == nil {
 			opts.RNG = root.Split()
 		}
+		policyRNG = opts.RNG
 		policy = sched.New(opts)
 	}
 
@@ -278,14 +284,16 @@ func New(params Params) (*Simulator, error) {
 	ctx.prepare(len(nodes), len(configs), depMax, plan.Enabled())
 
 	s := &Simulator{
-		params: params,
-		ctx:    ctx,
-		eng:    &ctx.eng,
-		mgr:    mgr,
-		policy: policy,
-		source: source,
-		sus:    reslists.NewSusQueue(),
-		c:      counters,
+		params:    params,
+		ctx:       ctx,
+		eng:       &ctx.eng,
+		mgr:       mgr,
+		policy:    policy,
+		//lint:rngflow the checkpoint must capture the very stream the policy consumes; a Split substream would diverge from it
+		policyRNG: policyRNG,
+		source:    source,
+		sus:       reslists.NewSusQueue(),
+		c:         counters,
 	}
 	if params.Stream && params.OnEvent == nil {
 		// Streaming discipline: terminal tasks go back to the source's
@@ -396,8 +404,20 @@ func (s *Simulator) Snapshot() monitor.Snapshot {
 // Run executes the simulation to completion and assembles the result.
 // A Simulator runs once.
 func (s *Simulator) Run() (*Result, error) {
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	s.eng.Run(func() bool { return s.err != nil })
+	return s.Finish()
+}
+
+// Start primes the run: it schedules the first arrival and opens the
+// fault streams, but fires no events. Use with RunUntil and Finish
+// when the run needs to pause at tick boundaries (checkpointing);
+// plain Run composes all three.
+func (s *Simulator) Start() error {
 	if s.ran {
-		return nil, errors.New("core: Simulator already ran")
+		return errors.New("core: Simulator already ran")
 	}
 	s.ran = true
 
@@ -405,9 +425,46 @@ func (s *Simulator) Run() (*Result, error) {
 	if s.inj != nil {
 		s.inj.Start()
 	}
-	s.eng.Run(func() bool { return s.err != nil })
+	return s.err
+}
+
+// RunUntil fires events until the queue drains (returns true) or
+// pause returns true at a tick boundary (returns false). A tick
+// boundary is the moment every event at the current clock reading has
+// fired and the next pending event lies strictly later — exactly the
+// state EncodeSnapshot accepts. pause sees the current clock and the
+// number of events processed so far; a nil pause never stops early.
+//
+// The loop steps event-by-event even when TickStep is set: per the
+// sim package contract the two walks produce identical results, and a
+// restored run re-fires from the same boundary either way.
+func (s *Simulator) RunUntil(pause func(now int64, processed uint64) bool) bool {
+	for {
+		if s.err != nil {
+			return true
+		}
+		next, ok := s.eng.Queue.PeekTime()
+		if !ok {
+			return true
+		}
+		if next > s.eng.Now() && pause != nil && pause(s.eng.Now(), s.eng.Processed()) {
+			return false
+		}
+		s.eng.Step()
+	}
+}
+
+// Finish validates end-of-run accounting and assembles the result.
+// It must only be called once the event queue has drained.
+func (s *Simulator) Finish() (*Result, error) {
 	if s.err != nil {
 		return nil, s.err
+	}
+	if !s.ran {
+		return nil, errors.New("core: Finish before Start")
+	}
+	if s.eng.Queue.Len() != 0 {
+		return nil, fmt.Errorf("core: Finish with %d events still pending", s.eng.Queue.Len())
 	}
 
 	// The event queue drained: every task must be accounted for.

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"dreamsim/internal/fault"
+	"dreamsim/internal/snapshot"
+)
+
+// pauseAndSnapshot drives p until roughly target events have fired,
+// snapshots at the tick boundary, and returns the snapshot. ok is
+// false when the run finished before reaching the target.
+func pauseAndSnapshot(t *testing.T, p Params, target uint64) (snap []byte, ok bool) {
+	t.Helper()
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := s.RunUntil(func(_ int64, processed uint64) bool { return processed >= target })
+	if done {
+		return nil, false
+	}
+	snap, err = s.EncodeSnapshot()
+	if err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	return snap, true
+}
+
+// TestSnapshotRestoreResumesIdentically is the core-layer equivalence
+// check: pause, serialize, restore into a fresh Simulator, run both
+// halves to completion, compare the whole Result (reports, counters,
+// per-class stats, phase counts) against the uninterrupted run.
+func TestSnapshotRestoreResumesIdentically(t *testing.T) {
+	for _, partial := range []bool{false, true} {
+		p := smallParams(20, 400, partial)
+		ref := mustRun(t, p)
+		paused := 0
+		for _, target := range []uint64{1, 50, 300, 900} {
+			snap, ok := pauseAndSnapshot(t, p, target)
+			if !ok {
+				continue // run finished before this target
+			}
+			paused++
+			s2, err := RestoreSnapshot(p, snap)
+			if err != nil {
+				t.Fatalf("RestoreSnapshot at %d events: %v", target, err)
+			}
+			if !s2.RunUntil(nil) {
+				t.Fatal("restored run paused with a nil pause")
+			}
+			got, err := s2.Finish()
+			if err != nil {
+				t.Fatalf("restored Finish: %v", err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("partial=%v target=%d: restored run diverged\nref: %+v\ngot: %+v", partial, target, ref, got)
+			}
+		}
+		if paused < 2 {
+			t.Fatalf("partial=%v: only %d pause points exercised", partial, paused)
+		}
+	}
+}
+
+// TestSnapshotDeterministicBytes pins that pausing the same run at
+// the same point twice encodes byte-identical snapshots.
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	p := smallParams(15, 300, true)
+	a, ok := pauseAndSnapshot(t, p, 200)
+	if !ok {
+		t.Fatal("run too short")
+	}
+	b, _ := pauseAndSnapshot(t, p, 200)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two snapshots of the same state differ")
+	}
+}
+
+// TestSnapshotWithFaults covers the injector sections: scripted and
+// random fault streams, pending recoveries, retry events.
+func TestSnapshotWithFaults(t *testing.T) {
+	p := smallParams(20, 400, true)
+	p.Faults = fault.Plan{CrashRate: 0.002, MeanDowntime: 150, ReconfigFaultRate: 0.001}
+	ref := mustRun(t, p)
+	for _, target := range []uint64{40, 400, 1200} {
+		snap, ok := pauseAndSnapshot(t, p, target)
+		if !ok {
+			t.Fatalf("run finished before %d events", target)
+		}
+		s2, err := RestoreSnapshot(p, snap)
+		if err != nil {
+			t.Fatalf("RestoreSnapshot: %v", err)
+		}
+		s2.RunUntil(nil)
+		got, err := s2.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("target=%d: fault run diverged after restore", target)
+		}
+	}
+}
+
+// TestSnapshotRejectsWrongParams pins the fingerprint check: a
+// snapshot restored under different parameters fails loudly.
+func TestSnapshotRejectsWrongParams(t *testing.T) {
+	p := smallParams(20, 300, true)
+	snap, ok := pauseAndSnapshot(t, p, 100)
+	if !ok {
+		t.Fatal("run too short")
+	}
+	q := p
+	q.Seed++
+	if _, err := RestoreSnapshot(q, snap); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("seed mismatch gave %v, want ErrCorrupt", err)
+	}
+	q = smallParams(21, 300, true)
+	if _, err := RestoreSnapshot(q, snap); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("node-count mismatch gave %v, want ErrCorrupt", err)
+	}
+	q = smallParams(20, 300, false)
+	if _, err := RestoreSnapshot(q, snap); err == nil {
+		t.Fatal("reconfiguration-mode mismatch accepted")
+	}
+}
+
+// TestSnapshotRejectsVersionSkew pins the clear-error contract for
+// snapshots written by a newer build.
+func TestSnapshotRejectsVersionSkew(t *testing.T) {
+	p := smallParams(20, 300, true)
+	snap, ok := pauseAndSnapshot(t, p, 100)
+	if !ok {
+		t.Fatal("run too short")
+	}
+	payload, _, err := snapshot.Open(snap, SnapshotKind, SnapshotVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := snapshot.Seal(SnapshotKind, SnapshotVersion+1, payload)
+	if _, err := RestoreSnapshot(p, future); !errors.Is(err, snapshot.ErrVersion) {
+		t.Fatalf("future version gave %v, want ErrVersion", err)
+	}
+}
+
+// TestEncodeSnapshotRejectsBadStates pins the precondition errors.
+func TestEncodeSnapshotRejectsBadStates(t *testing.T) {
+	p := smallParams(10, 50, true)
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EncodeSnapshot(); err == nil {
+		t.Fatal("snapshot before Start accepted")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EncodeSnapshot(); err == nil {
+		t.Fatal("snapshot of a finished run accepted")
+	}
+}
+
+// FuzzDecodeSnapshot: the decoder must never panic, whatever the
+// bytes. Raw inputs exercise the envelope (the checksum rejects
+// nearly everything); the re-sealed pass wraps the fuzzed bytes in a
+// valid envelope so the payload decoding past the CRC is reached too.
+// Every outcome must be a structured error or a well-formed restore.
+func FuzzDecodeSnapshot(f *testing.F) {
+	p := smallParams(10, 120, true)
+	valid, ok := func() ([]byte, bool) {
+		s, err := New(p)
+		if err != nil {
+			return nil, false
+		}
+		if err := s.Start(); err != nil {
+			return nil, false
+		}
+		if s.RunUntil(func(_ int64, processed uint64) bool { return processed >= 100 }) {
+			return nil, false
+		}
+		snap, err := s.EncodeSnapshot()
+		return snap, err == nil
+	}()
+	if !ok {
+		f.Fatal("could not build the seed snapshot")
+	}
+	f.Add(valid)
+	payload, _, err := snapshot.Open(valid, SnapshotKind, SnapshotVersion)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), payload...))
+	f.Add([]byte{})
+	f.Add([]byte("DRSNAP"))
+	truncated := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(truncated)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if s, err := RestoreSnapshot(p, data); err == nil {
+			// A decodable input must yield a drivable run.
+			s.RunUntil(nil)
+			s.Finish()
+		}
+		sealed := snapshot.Seal(SnapshotKind, SnapshotVersion, data)
+		if s, err := RestoreSnapshot(p, sealed); err == nil {
+			s.RunUntil(nil)
+			s.Finish()
+		}
+	})
+}

@@ -32,6 +32,17 @@ type Target interface {
 // Injector schedules a Plan's fault events into the simulation event
 // queue. Construct with NewInjector, then Start once before the
 // engine runs.
+//
+// Fault events carry their meaning in the event payload slots rather
+// than in closures, so a checkpoint can classify every pending fault
+// event from its Kind and payload alone and rebuild it on restore:
+//
+//	Kind            A (payload)   B          meaning
+//	"fault:crash"   node int      nil        crash that node
+//	"fault:crash"   nil           *Injector  random-stream firing
+//	"fault:recover" node int      nil        recover that node
+//	"fault:cfail"   nil           nil        scripted reconfig fault
+//	"fault:cfail"   nil           *Injector  random-stream firing
 type Injector struct {
 	plan Plan
 	r    *rng.RNG
@@ -43,6 +54,10 @@ type Injector struct {
 	// unable to make progress (a recovering node may yet host the
 	// suspended backlog).
 	pendingRecoveries int
+
+	// Pre-bound handlers: one method-value allocation each at
+	// construction instead of one closure per scheduled fault.
+	hCrash, hRecover, hArm sim.Handler
 }
 
 // NewInjector validates the plan against the population and builds an
@@ -61,33 +76,33 @@ func NewInjector(plan Plan, r *rng.RNG, eng *sim.Engine, t Target) (*Injector, e
 			return nil, fmt.Errorf("fault: script event %d targets node %d of %d", i, ev.Node, n)
 		}
 	}
-	return &Injector{plan: plan, r: r, eng: eng, t: t}, nil
+	in := &Injector{plan: plan, r: r, eng: eng, t: t}
+	in.hCrash = in.handleCrash
+	in.hRecover = in.handleRecover
+	in.hArm = in.handleArm
+	return in, nil
 }
 
 // PendingRecoveries reports how many scheduled recoveries are still
 // in flight.
 func (in *Injector) PendingRecoveries() int { return in.pendingRecoveries }
 
+// RNG exposes the injector's random stream for checkpointing; nil for
+// script-only plans.
+func (in *Injector) RNG() *rng.RNG { return in.r }
+
 // Start schedules the scripted events and the first random draws.
 // Call exactly once, before the engine runs.
 func (in *Injector) Start() {
 	for _, ev := range in.plan.Script {
-		ev := ev
 		switch ev.Kind {
 		case KindCrash:
-			in.eng.ScheduleAt(ev.At, "fault:crash", func(now int64) {
-				in.t.Crash(ev.Node, now)
-			})
+			in.eng.ScheduleEventAt(ev.At, "fault:crash", in.hCrash, ev.Node, nil)
 		case KindRecover:
 			in.pendingRecoveries++
-			in.eng.ScheduleAt(ev.At, "fault:recover", func(now int64) {
-				in.pendingRecoveries--
-				in.t.Recover(ev.Node, now)
-			})
+			in.eng.ScheduleEventAt(ev.At, "fault:recover", in.hRecover, ev.Node, nil)
 		case KindReconfigFault:
-			in.eng.ScheduleAt(ev.At, "fault:cfail", func(now int64) {
-				in.t.ArmReconfigFault(now)
-			})
+			in.eng.ScheduleEventAt(ev.At, "fault:cfail", in.hArm, nil, nil)
 		}
 	}
 	if in.plan.CrashRate > 0 {
@@ -98,6 +113,61 @@ func (in *Injector) Start() {
 	}
 }
 
+// handleCrash fires a crash event: a random-stream firing (B set)
+// runs the stream step; a targeted event (A = node) crashes that node.
+func (in *Injector) handleCrash(ev *sim.Event, now int64) {
+	if ev.B != nil {
+		in.randomCrash(now)
+		return
+	}
+	in.t.Crash(ev.A.(int), now)
+}
+
+// handleRecover fires a scheduled recovery of node A.
+func (in *Injector) handleRecover(ev *sim.Event, now int64) {
+	in.pendingRecoveries--
+	in.t.Recover(ev.A.(int), now)
+}
+
+// handleArm fires a reconfiguration fault: a random-stream firing
+// (B set) runs the stream step; otherwise it arms one fault directly.
+func (in *Injector) handleArm(ev *sim.Event, now int64) {
+	if ev.B != nil {
+		in.randomArming(now)
+		return
+	}
+	in.t.ArmReconfigFault(now)
+}
+
+// RestoreCrash re-schedules a pending crash event from a snapshot:
+// either the random stream's next firing or a targeted crash.
+func (in *Injector) RestoreCrash(at int64, node int, stream bool) {
+	if stream {
+		in.eng.ScheduleEventAt(at, "fault:crash", in.hCrash, nil, in)
+		return
+	}
+	in.eng.ScheduleEventAt(at, "fault:crash", in.hCrash, node, nil)
+}
+
+// RestoreRecovery re-schedules a pending recovery from a snapshot.
+// The pending-recovery counter is derived state — each restored
+// event increments it here and decrements it when it fires, exactly
+// as the original scheduling did.
+func (in *Injector) RestoreRecovery(at int64, node int) {
+	in.pendingRecoveries++
+	in.eng.ScheduleEventAt(at, "fault:recover", in.hRecover, node, nil)
+}
+
+// RestoreArm re-schedules a pending reconfiguration-fault event from
+// a snapshot: the random stream's next firing or a scripted arming.
+func (in *Injector) RestoreArm(at int64, stream bool) {
+	if stream {
+		in.eng.ScheduleEventAt(at, "fault:cfail", in.hArm, nil, in)
+		return
+	}
+	in.eng.ScheduleEventAt(at, "fault:cfail", in.hArm, nil, nil)
+}
+
 // gap draws one inter-event gap of a Poisson process with the given
 // rate, in whole timeticks (at least 1 so streams always advance).
 func (in *Injector) gap(rate float64) int64 {
@@ -105,7 +175,7 @@ func (in *Injector) gap(rate float64) int64 {
 }
 
 func (in *Injector) scheduleNextCrash() {
-	in.eng.ScheduleAfter(in.gap(in.plan.CrashRate), "fault:crash", in.randomCrash)
+	in.eng.ScheduleEventAfter(in.gap(in.plan.CrashRate), "fault:crash", in.hCrash, nil, in)
 }
 
 // randomCrash is one firing of the random crash stream: crash a
@@ -121,10 +191,7 @@ func (in *Injector) randomCrash(now int64) {
 		in.t.Crash(no, now)
 		downtime := 1 + int64(in.r.ExpRate(1/in.plan.MeanDowntime))
 		in.pendingRecoveries++
-		in.eng.ScheduleAt(now+downtime, "fault:recover", func(at int64) {
-			in.pendingRecoveries--
-			in.t.Recover(no, at)
-		})
+		in.eng.ScheduleEventAt(now+downtime, "fault:recover", in.hRecover, no, nil)
 	}
 	in.scheduleNextCrash()
 }
@@ -146,7 +213,7 @@ func (in *Injector) pickUpNode() (no int, ok bool) {
 }
 
 func (in *Injector) scheduleNextArming() {
-	in.eng.ScheduleAfter(in.gap(in.plan.ReconfigFaultRate), "fault:cfail", in.randomArming)
+	in.eng.ScheduleEventAfter(in.gap(in.plan.ReconfigFaultRate), "fault:cfail", in.hArm, nil, in)
 }
 
 // randomArming is one firing of the reconfiguration-fault stream.

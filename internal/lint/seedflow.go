@@ -17,7 +17,9 @@ import (
 // Within the executor-driven packages (the root experiment engine,
 // internal/core, internal/exec, internal/gridsim, internal/workload —
 // the last because TaskSource implementations feed every unit its
-// input stream), every argument of
+// input stream — plus internal/serve and internal/snapshot, which
+// respectively fan sweep units out across server restarts and rebuild
+// RNG streams from serialized state), every argument of
 // rng.New / (*rng.RNG).Seed must trace back to explicit seed inputs:
 // function parameters, fields or variables with "seed" in their name,
 // constants, derivations via (*rng.RNG) methods (Split, RandUint64),
@@ -31,6 +33,8 @@ var SeedFlow = &Analyzer{
 			pathHasSuffix(pkgPath, "internal/core") ||
 			pathHasSuffix(pkgPath, "internal/exec") ||
 			pathHasSuffix(pkgPath, "internal/gridsim") ||
+			pathHasSuffix(pkgPath, "internal/serve") ||
+			pathHasSuffix(pkgPath, "internal/snapshot") ||
 			pathHasSuffix(pkgPath, "internal/workload")
 	},
 	Run: runSeedFlow,

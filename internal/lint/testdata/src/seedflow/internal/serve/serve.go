@@ -1,0 +1,32 @@
+// Package serve is a seedflow fixture: its import path ends in
+// internal/serve, so the sweep service is held to the same rule as
+// the executor-driven packages — any RNG it builds for a unit must
+// trace to the job's explicit seed, or a resumed job would re-run its
+// remaining units over different streams than the original process.
+package serve
+
+import "dreamsim/internal/rng"
+
+// jobCounter is ambient server state a unit seed must never mix in.
+var jobCounter uint64
+
+// JobSpec mirrors the submitted sweep spec.
+type JobSpec struct {
+	Seed  uint64
+	Units int
+}
+
+// GoodUnitRNG derives a unit's stream from the spec's explicit seed
+// and the unit index — pure arithmetic over explicit inputs, so a
+// restarted server rebuilds the identical stream.
+func GoodUnitRNG(spec JobSpec, unit int) *rng.RNG {
+	return rng.New(spec.Seed + uint64(unit)*0x9e3779b97f4a7c15)
+}
+
+// BadAmbientUnitRNG seeds a unit from a server-lifetime counter: the
+// stream then depends on how many jobs ran before this one in this
+// process — exactly what a resume must not observe.
+func BadAmbientUnitRNG(spec JobSpec) *rng.RNG {
+	jobCounter++
+	return rng.New(jobCounter) // want `package-level variable "jobCounter" is ambient state`
+}

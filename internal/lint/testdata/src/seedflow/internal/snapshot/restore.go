@@ -1,0 +1,24 @@
+// Package snapshot is a seedflow fixture: its import path ends in
+// internal/snapshot, so restore paths here must rebuild RNG streams
+// from serialized state or explicit seeds — never from ambient
+// process state, which would make a restored run diverge from the
+// uninterrupted one.
+package snapshot
+
+import "dreamsim/internal/rng"
+
+// restoreEpoch is ambient state a restore must never seed from.
+var restoreEpoch uint64
+
+// GoodRestoreRNG rebuilds a stream from the snapshot's serialized
+// seed word — an explicit seed input threaded through the decoder.
+func GoodRestoreRNG(seedWord uint64) *rng.RNG {
+	return rng.New(seedWord)
+}
+
+// BadEpochRestoreRNG mixes a process-lifetime epoch into the restored
+// stream, so the resumed run draws differently than the original.
+func BadEpochRestoreRNG() *rng.RNG {
+	restoreEpoch++
+	return rng.New(restoreEpoch) // want `package-level variable "restoreEpoch" is ambient state`
+}

@@ -1,0 +1,14 @@
+package reslists
+
+// RestorePeak overwrites the peak-depth statistic after a checkpoint
+// restore. Rebuilding a snapshotted queue re-Adds its tasks in FIFO
+// order, which grows peak only up to the current size; the original
+// run may have seen a deeper queue earlier, so the recorded peak is
+// reapplied afterwards. A peak below the rebuilt size is impossible
+// in a well-formed snapshot; it is clamped rather than trusted.
+func (q *SusQueue) RestorePeak(peak int) {
+	if peak < q.size {
+		peak = q.size
+	}
+	q.peak = peak
+}

@@ -1,0 +1,21 @@
+package rng
+
+// State returns the raw xorshift128+ stream position. Together with
+// SetState it lets the checkpoint subsystem capture and replay a
+// stream mid-flight: a restored RNG continues with exactly the draws
+// the original would have produced.
+func (r *RNG) State() (s0, s1 uint64) {
+	return r.s0, r.s1
+}
+
+// SetState overwrites the stream position with a value previously
+// obtained from State. The all-zero state is invalid for
+// xorshift128+ (it is a fixed point); restoring it would mean the
+// snapshot was corrupt, so it is rejected by falling back to the
+// same escape constant New uses.
+func (r *RNG) SetState(s0, s1 uint64) {
+	if s0 == 0 && s1 == 0 {
+		s1 = 0x9e3779b97f4a7c15
+	}
+	r.s0, r.s1 = s0, s1
+}

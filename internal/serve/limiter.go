@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a token-bucket rate limiter for job submission: the
+// bucket holds up to capacity tokens, refills at refillPerSec, and
+// each accepted submission spends one. A burst larger than the
+// remaining tokens is rejected (HTTP 429 at the API layer) instead of
+// queued — the job queue itself provides the backlog; the limiter
+// only bounds how fast callers may grow it.
+type Limiter struct {
+	mu       sync.Mutex
+	capacity float64
+	refill   float64
+	tokens   float64
+	last     time.Time
+	now      func() time.Time
+}
+
+// NewLimiter builds a full bucket. now is the clock and is injectable
+// so tests can step time deterministically; nil means time.Now.
+// capacity < 1 disables limiting (every Allow succeeds).
+//
+//lint:detrand the serving layer rate-limits real HTTP clients on the host clock; no simulation state depends on it
+func NewLimiter(capacity int, refillPerSec float64, now func() time.Time) *Limiter {
+	if now == nil {
+		now = time.Now
+	}
+	l := &Limiter{
+		capacity: float64(capacity),
+		refill:   refillPerSec,
+		tokens:   float64(capacity),
+		now:      now,
+	}
+	l.last = now()
+	return l
+}
+
+// Allow spends one token if available.
+func (l *Limiter) Allow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.capacity < 1 {
+		return true
+	}
+	t := l.now()
+	if dt := t.Sub(l.last).Seconds(); dt > 0 {
+		l.tokens += dt * l.refill
+		if l.tokens > l.capacity {
+			l.tokens = l.capacity
+		}
+		l.last = t
+	}
+	if l.tokens < 1 {
+		return false
+	}
+	l.tokens--
+	return true
+}

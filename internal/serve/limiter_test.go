@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a stepped clock for deterministic limiter tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := NewLimiter(2, 1, clk.now)
+
+	// The bucket starts full: the first burst spends it.
+	if !l.Allow() || !l.Allow() {
+		t.Fatal("full bucket rejected the initial burst")
+	}
+	if l.Allow() {
+		t.Fatal("empty bucket accepted a third request")
+	}
+
+	// Refill is fractional: half a second is not a whole token.
+	clk.advance(500 * time.Millisecond)
+	if l.Allow() {
+		t.Fatal("half a token spent as a whole one")
+	}
+	clk.advance(500 * time.Millisecond)
+	if !l.Allow() {
+		t.Fatal("refilled token rejected")
+	}
+
+	// Refill caps at capacity: a long idle stretch is still one burst.
+	clk.advance(time.Hour)
+	if !l.Allow() || !l.Allow() {
+		t.Fatal("capped bucket rejected a capacity burst")
+	}
+	if l.Allow() {
+		t.Fatal("bucket refilled beyond capacity")
+	}
+}
+
+func TestLimiterZeroCapacityDisables(t *testing.T) {
+	l := NewLimiter(0, 0, nil)
+	for i := 0; i < 100; i++ {
+		if !l.Allow() {
+			t.Fatal("capacity 0 should disable limiting")
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package sim
+
+import "sort"
+
+// This file is the sim package's contribution to the checkpoint
+// subsystem. A snapshot never serializes the heap layout — only the
+// pending events in their total firing order (At, insertion order).
+// Restoring re-Pushes events in exactly that order, which reproduces
+// the relative sequence numbering and therefore the identical pop
+// order, regardless of how the original heap array happened to be
+// arranged.
+
+// Pending returns the queued events sorted by firing order — (At,
+// seq) ascending. The returned slice is freshly allocated; the events
+// themselves are the live queued structs and must not be mutated.
+func (q *Queue) Pending() []*Event {
+	out := make([]*Event, len(q.events))
+	copy(out, q.events)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].seq < out[j].seq
+	})
+	return out
+}
+
+// NextSeq exposes the queue's insertion counter for serialization.
+// It is part of observable state: a restored run must hand out the
+// same tie-breaking sequence numbers the uninterrupted run would.
+func (q *Queue) NextSeq() uint64 { return q.nextSeq }
+
+// RestoreSeq overwrites the insertion counter after the pending
+// events have been re-Pushed. The stored counter can never be lower
+// than the number of re-Pushed events, so a lower value means the
+// snapshot is inconsistent; the caller turns the false return into a
+// corruption error.
+func (q *Queue) RestoreSeq(v uint64) bool {
+	if v < q.nextSeq {
+		return false
+	}
+	q.nextSeq = v
+	return true
+}
+
+// RestoreProcessed overwrites the fired-event counter so a restored
+// engine reports the same progress an uninterrupted run would.
+func (e *Engine) RestoreProcessed(v uint64) { e.processed = v }

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+
+	"dreamsim/internal/snapshot"
+)
+
+// This file encodes and restores the dynamic state of the synthetic
+// task sources for the checkpoint subsystem. Everything structural —
+// spec, configuration pools, zipf tables, timeline, spikes — is
+// rebuilt deterministically from the run parameters by the normal
+// constructors; a snapshot carries only the cursors that move during
+// a run: RNG stream positions, arrival clocks, the emitted count and
+// the pool's recycled counter. Free lists are deliberately NOT
+// captured: they affect allocation, never the emitted stream, so a
+// restored source simply starts with an empty pool.
+
+// EncodeState appends the Generator's dynamic state.
+func (g *Generator) EncodeState(w *snapshot.Writer) {
+	s0, s1 := g.r.State()
+	w.U64(s0)
+	w.U64(s1)
+	w.I64(g.now)
+	w.Int(g.emitted)
+	w.I64(g.recycled)
+}
+
+// RestoreState overwrites the Generator's dynamic state from a
+// snapshot. The generator must have been freshly built with the same
+// spec and configuration list.
+func (g *Generator) RestoreState(r *snapshot.Reader) error {
+	s0 := r.U64()
+	s1 := r.U64()
+	now := r.I64()
+	emitted := r.Int()
+	recycled := r.I64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if emitted < 0 || emitted > g.spec.Tasks {
+		return fmt.Errorf("%w: generator emitted %d of %d tasks", snapshot.ErrCorrupt, emitted, g.spec.Tasks)
+	}
+	if now < 0 || recycled < 0 {
+		return fmt.Errorf("%w: negative generator cursor", snapshot.ErrCorrupt)
+	}
+	g.r.SetState(s0, s1)
+	g.now = now
+	g.emitted = emitted
+	g.recycled = recycled
+	return nil
+}
+
+// EncodeState appends the ScenarioSource's dynamic state: the global
+// emit cursor plus each class's RNG position and next-arrival clock,
+// in class-index order (which is file order — deterministic).
+func (s *ScenarioSource) EncodeState(w *snapshot.Writer) {
+	w.Int(s.emitted)
+	w.I64(s.recycled)
+	w.Int(len(s.classes))
+	for i := range s.classes {
+		st := &s.classes[i]
+		s0, s1 := st.r.State()
+		w.U64(s0)
+		w.U64(s1)
+		w.I64(st.next)
+	}
+}
+
+// RestoreState overwrites the ScenarioSource's dynamic state from a
+// snapshot. The source must have been freshly compiled from the same
+// scenario, spec and configuration list.
+func (s *ScenarioSource) RestoreState(r *snapshot.Reader) error {
+	emitted := r.Int()
+	recycled := r.I64()
+	n := r.Count()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != len(s.classes) {
+		return fmt.Errorf("%w: snapshot has %d scenario classes, source has %d",
+			snapshot.ErrCorrupt, n, len(s.classes))
+	}
+	if emitted < 0 || emitted > s.total || recycled < 0 {
+		return fmt.Errorf("%w: scenario emit cursor %d of %d tasks", snapshot.ErrCorrupt, emitted, s.total)
+	}
+	for i := range s.classes {
+		st := &s.classes[i]
+		s0 := r.U64()
+		s1 := r.U64()
+		next := r.I64()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if next < 0 {
+			return fmt.Errorf("%w: class %q arrival clock %d", snapshot.ErrCorrupt, st.name, next)
+		}
+		st.r.SetState(s0, s1)
+		st.next = next
+	}
+	s.emitted = emitted
+	s.recycled = recycled
+	return nil
+}
