@@ -11,21 +11,41 @@ import (
 type sweepDelta struct {
 	Label      string
 	Old, New   float64 // throughput in Unit
-	Unit       string  // "cells/s" for matrix sweeps, "tasks/s" for single-run cells
+	Unit       string  // "cells/s" for matrix sweeps, "tasks/s"/"scans/s" for single-run cells
 	Change     float64 // fractional change, negative = slower
 	Regression bool    // slowdown beyond the tolerance
 	Missing    bool    // sweep present in old but absent from new
 	Added      bool    // sweep present in new only
+	EnvSkip    string  // non-empty: environments differ, numbers not comparable
 }
 
 // rate returns a sweep's throughput and its unit: matrix sweeps are
-// compared in cells/sec, single-run cells (the large-scale streamed
-// sweep) in tasks/sec.
+// compared in cells/sec, the large-scale streamed cell in tasks/sec,
+// the placement-scan microbench in scans/sec.
 func rate(s sweep) (float64, string) {
 	if s.CellsPerSec > 0 {
 		return s.CellsPerSec, "cells/s"
 	}
+	if s.ScansPerSec > 0 {
+		return s.ScansPerSec, "scans/s"
+	}
 	return s.TasksPerSec, "tasks/s"
+}
+
+// envMismatch reports why two sweeps' throughputs are not comparable:
+// a number measured at a different GOMAXPROCS or intra-run worker
+// count is a different experiment, and diffing the two would flag
+// phantom regressions (or mask real ones). Zero values mean the side
+// predates environment stamping and stays comparable — an old
+// baseline must not invalidate every new comparison.
+func envMismatch(o, n sweep) string {
+	if o.Procs != 0 && n.Procs != 0 && o.Procs != n.Procs {
+		return fmt.Sprintf("gomaxprocs %d vs %d", o.Procs, n.Procs)
+	}
+	if o.IntraPar != 0 && n.IntraPar != 0 && o.IntraPar != n.IntraPar {
+		return fmt.Sprintf("intra_parallel %d vs %d", o.IntraPar, n.IntraPar)
+	}
+	return ""
 }
 
 // compareReports matches the two reports' sweeps by label and flags
@@ -49,7 +69,9 @@ func compareReports(oldRep, newRep report, tolerance float64) []sweepDelta {
 		delete(newByLabel, o.Label)
 		newRate, _ := rate(n)
 		d := sweepDelta{Label: o.Label, Old: oldRate, New: newRate, Unit: unit}
-		if oldRate > 0 {
+		if skip := envMismatch(o, n); skip != "" {
+			d.EnvSkip = skip
+		} else if oldRate > 0 {
 			d.Change = (newRate - oldRate) / oldRate
 			d.Regression = newRate < oldRate*(1-tolerance)
 		}
@@ -68,6 +90,9 @@ func compareReports(oldRep, newRep report, tolerance float64) []sweepDelta {
 // formatDelta renders one comparison row.
 func formatDelta(d sweepDelta) string {
 	switch {
+	case d.EnvSkip != "":
+		return fmt.Sprintf("%-12s %8.1f -> %8.1f  %s  (skipped: %s)",
+			d.Label, d.Old, d.New, d.Unit, d.EnvSkip)
 	case d.Missing:
 		return fmt.Sprintf("%-12s %8.1f -> (missing)  %s", d.Label, d.Old, d.Unit)
 	case d.Added:
@@ -116,6 +141,16 @@ func runCompare(w *strings.Builder, oldPath, newPath string, tolerance float64) 
 		if d.Regression {
 			code = 1
 		}
+	}
+	// A parallel sweep slower than the sequential one on a machine
+	// with real parallelism is a scheduling regression no per-sweep
+	// throughput delta catches (both sweeps may have slowed together).
+	// Single-CPU measurements are exempt: there the ratio only
+	// documents contention, and the report labels it as such.
+	if newRep.CPUs > 1 && newRep.Speedup != 0 && newRep.Speedup < 1 {
+		fmt.Fprintf(w, "%-12s parallel_speedup %.3f < 1 on %d CPUs  REGRESSION\n",
+			"speedup", newRep.Speedup, newRep.CPUs)
+		code = 1
 	}
 	return code, nil
 }

@@ -93,6 +93,83 @@ func TestCompareReportsTasksPerSecUnit(t *testing.T) {
 	}
 }
 
+func TestCompareReportsEnvMismatchSkips(t *testing.T) {
+	oldRep := report{Sweeps: []sweep{
+		{Label: "sequential", CellsPerSec: 150, Procs: 8, IntraPar: 1},
+		{Label: "scan5000/ip4", ScansPerSec: 9000, Procs: 8, IntraPar: 4},
+		{Label: "legacy", CellsPerSec: 100}, // pre-stamping baseline: no env fields
+	}}
+	newRep := report{Sweeps: []sweep{
+		{Label: "sequential", CellsPerSec: 40, Procs: 1, IntraPar: 1},     // 1-CPU box: not comparable
+		{Label: "scan5000/ip4", ScansPerSec: 5000, Procs: 8, IntraPar: 8}, // different worker count
+		{Label: "legacy", CellsPerSec: 50, Procs: 4, IntraPar: 4},         // zero side stays comparable
+	}}
+	deltas := compareReports(oldRep, newRep, 0.10)
+	byLabel := map[string]sweepDelta{}
+	for _, d := range deltas {
+		byLabel[d.Label] = d
+	}
+	if d := byLabel["sequential"]; d.EnvSkip == "" || d.Regression {
+		t.Errorf("gomaxprocs mismatch not skipped: %+v", d)
+	}
+	if d := byLabel["scan5000/ip4"]; d.EnvSkip == "" || d.Regression {
+		t.Errorf("intra_parallel mismatch not skipped: %+v", d)
+	}
+	if d := byLabel["scan5000/ip4"]; d.Unit != "scans/s" {
+		t.Errorf("scan cell unit wrong: %+v", d)
+	}
+	if d := byLabel["legacy"]; d.EnvSkip != "" || !d.Regression {
+		t.Errorf("unstamped baseline must stay comparable: %+v", d)
+	}
+	if out := formatDelta(byLabel["sequential"]); !strings.Contains(out, "skipped") {
+		t.Errorf("formatted skip row lacks marker: %q", out)
+	}
+}
+
+func TestRunCompareContendedSpeedupRegression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r report) string {
+		t.Helper()
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old", report{Sweeps: []sweep{{Label: "sequential", CellsPerSec: 100}}})
+	// Sub-1.0 speedup on a multi-core box is a regression even when
+	// every shared sweep's throughput held steady.
+	badPath := write("bad", report{
+		CPUs:    8,
+		Speedup: 0.87,
+		Sweeps:  []sweep{{Label: "sequential", CellsPerSec: 100}},
+	})
+	// The same ratio on one CPU is contention, not a regression.
+	onePath := write("onecpu", report{
+		CPUs:         1,
+		Speedup:      0.87,
+		SpeedupLabel: "contended",
+		Sweeps:       []sweep{{Label: "sequential", CellsPerSec: 100}},
+	})
+
+	var out strings.Builder
+	code, err := runCompare(&out, oldPath, badPath, 0.10)
+	if err != nil || code != 1 {
+		t.Fatalf("multi-core sub-1.0 speedup: code %d err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("output missing speedup REGRESSION:\n%s", out.String())
+	}
+	out.Reset()
+	if code, err = runCompare(&out, oldPath, onePath, 0.10); err != nil || code != 0 {
+		t.Fatalf("single-CPU contended speedup flagged: code %d err %v\n%s", code, err, out.String())
+	}
+}
+
 func TestCompareReportsMissingSweep(t *testing.T) {
 	oldRep := report{Sweeps: []sweep{{Label: "gone", CellsPerSec: 50}}}
 	deltas := compareReports(oldRep, report{}, 0.10)

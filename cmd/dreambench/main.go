@@ -30,9 +30,12 @@ import (
 	"dreamsim"
 )
 
-// sweep is one timed configuration of the engine. Matrix sweeps carry
-// the GOMAXPROCS they ran under; the large-scale streamed cell carries
-// its node/task shape and reports tasks/sec instead of cells/sec.
+// sweep is one timed configuration of the engine. Every sweep records
+// the environment it ran under — GOMAXPROCS and the effective
+// intra-run worker count — so -compare can refuse to diff numbers
+// measured on mismatched environments. The large-scale streamed cell
+// carries its node/task shape and reports tasks/sec instead of
+// cells/sec; the placement-scan microbench cell reports scans/sec.
 type sweep struct {
 	Label       string  `json:"label"`
 	Parallel    int     `json:"parallel"`
@@ -40,11 +43,13 @@ type sweep struct {
 	Runs        int     `json:"runs"`
 	NsPerSweep  int64   `json:"ns_per_sweep"`
 	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
-	Procs       int     `json:"gomaxprocs,omitempty"`
+	Procs       int     `json:"gomaxprocs"`
+	IntraPar    int     `json:"intra_parallel"`
 	Stream      bool    `json:"stream,omitempty"`
 	Nodes       int     `json:"nodes,omitempty"`
 	Tasks       int     `json:"tasks,omitempty"`
 	TasksPerSec float64 `json:"tasks_per_sec,omitempty"`
+	ScansPerSec float64 `json:"scans_per_sec,omitempty"`
 	// Checkpoint-overhead cell only: the uncheckpointed twin's
 	// duration, the snapshot cadence/count/size, and the fractional
 	// slowdown the periodic snapshots cost.
@@ -66,6 +71,13 @@ type report struct {
 	Seed      uint64  `json:"seed"`
 	Sweeps    []sweep `json:"sweeps"`
 	Speedup   float64 `json:"parallel_speedup"`
+	// SpeedupLabel is "contended" when the speedup number measured
+	// nothing real: the process had one scheduler thread (workers
+	// time-slice instead of running concurrently) or the parallel
+	// sweep came out slower than the sequential one. A contended
+	// figure documents the environment honestly instead of posing as
+	// a parallelism measurement.
+	SpeedupLabel string `json:"parallel_speedup_label,omitempty"`
 }
 
 func main() {
@@ -75,7 +87,10 @@ func main() {
 		parallel  = flag.Int("parallel", dreamsim.DefaultParallelism(), "worker count for the parallel sweep")
 		fast      = flag.Bool("fast-search", false, "also time the indexed resource-search path")
 		runs      = flag.Int("runs", 3, "timed repetitions per configuration (best run is reported)")
-		noMatrix  = flag.Bool("no-matrix", false, "skip the GOMAXPROCS x workers matrix sweeps")
+		intraPar  = flag.Int("intra-parallel", 0, "intra-run workers for the base sweeps (0 = auto min(GOMAXPROCS,8), 1 = sequential)")
+		noMatrix  = flag.Bool("no-matrix", false, "skip the GOMAXPROCS x workers and GOMAXPROCS x intra-parallel matrix sweeps")
+		noScan    = flag.Bool("no-scan", false, "skip the placement-scan microbench cells")
+		scanNodes = flag.Int("scan-nodes", 5000, "node count of the placement-scan microbench")
 		noLarge   = flag.Bool("no-large", false, "skip the large-scale streamed cell")
 		largeN    = flag.Int("large-nodes", 2000, "node count of the large-scale streamed cell")
 		largeT    = flag.Int("large-tasks", 250000, "task count of the large-scale streamed cell")
@@ -108,6 +123,7 @@ func main() {
 
 	base := dreamsim.DefaultParams()
 	base.Seed = *seed
+	base.IntraParallel = *intraPar
 
 	time1 := func(p dreamsim.Params) time.Duration {
 		start := time.Now()
@@ -126,9 +142,10 @@ func main() {
 		}
 		return min
 	}
-	mkSweep := func(label string, par int, fastSearch bool) sweep {
+	mkSweepIP := func(label string, par, ip int, fastSearch bool) sweep {
 		p := base
 		p.Parallelism = par
+		p.IntraParallel = ip
 		p.FastSearch = fastSearch
 		d := best(p)
 		fmt.Fprintf(os.Stderr, "%-12s parallel=%-3d fast=%-5v  %12v  %7.1f cells/s\n",
@@ -140,7 +157,12 @@ func main() {
 			Runs:        *runs,
 			NsPerSweep:  d.Nanoseconds(),
 			CellsPerSec: float64(cells) / d.Seconds(),
+			Procs:       runtime.GOMAXPROCS(0),
+			IntraPar:    dreamsim.EffectiveIntraParallel(ip),
 		}
+	}
+	mkSweep := func(label string, par int, fastSearch bool) sweep {
+		return mkSweepIP(label, par, base.IntraParallel, fastSearch)
 	}
 	// mkMatrixSweep times one GOMAXPROCS x workers matrix point: the
 	// scheduler is pinned to procs OS threads while par sweep workers
@@ -150,7 +172,16 @@ func main() {
 		prev := runtime.GOMAXPROCS(procs)
 		s := mkSweep(fmt.Sprintf("mp%d/par%d", procs, par), par, false)
 		runtime.GOMAXPROCS(prev)
-		s.Procs = procs
+		return s
+	}
+	// mkIntraMatrixSweep times one GOMAXPROCS x IntraParallel matrix
+	// point: whole runs stay sequential (Parallelism 1) while ip
+	// workers shard placement scans and speculate same-tick batches
+	// inside each run — the intra-run twin of mkMatrixSweep.
+	mkIntraMatrixSweep := func(procs, ip int) sweep {
+		prev := runtime.GOMAXPROCS(procs)
+		s := mkSweepIP(fmt.Sprintf("mp%d/ip%d", procs, ip), 1, ip, false)
+		runtime.GOMAXPROCS(prev)
 		return s
 	}
 	// mkLargeSweep times one streamed large-scale run (single cell, so
@@ -185,6 +216,8 @@ func main() {
 			FastSearch:  true,
 			Runs:        *runs,
 			NsPerSweep:  d.Nanoseconds(),
+			Procs:       runtime.GOMAXPROCS(0),
+			IntraPar:    dreamsim.EffectiveIntraParallel(p.IntraParallel),
 			Stream:      true,
 			Nodes:       nodes,
 			Tasks:       tasks,
@@ -254,6 +287,8 @@ func main() {
 			Label:           "checkpoint",
 			Parallel:        1,
 			Runs:            *runs,
+			Procs:           runtime.GOMAXPROCS(0),
+			IntraPar:        dreamsim.EffectiveIntraParallel(p.IntraParallel),
 			NsPerSweep:      ckD.Nanoseconds(),
 			Nodes:           p.Nodes,
 			Tasks:           tasks,
@@ -282,11 +317,28 @@ func main() {
 		rep.Sweeps = append(rep.Sweeps, mkSweep("fast-search", 1, true))
 	}
 	rep.Speedup = float64(seq.NsPerSweep) / float64(par.NsPerSweep)
+	if runtime.GOMAXPROCS(0) == 1 || rep.Speedup < 1 {
+		// A 1-thread process cannot measure parallel speedup (its
+		// workers time-slice), and a sub-1.0 ratio is contention, not
+		// speedup. Label it so nobody reads the number as a result.
+		rep.SpeedupLabel = "contended"
+		fmt.Fprintf(os.Stderr,
+			"warning: parallel_speedup %.3f is contended (GOMAXPROCS=%d) — not a parallelism measurement\n",
+			rep.Speedup, runtime.GOMAXPROCS(0))
+	}
 	if !*noMatrix {
 		for _, procs := range dedupInts(1, runtime.NumCPU()) {
 			for _, workers := range dedupInts(1, 2, *parallel) {
 				rep.Sweeps = append(rep.Sweeps, mkMatrixSweep(procs, workers))
 			}
+			for _, ip := range dedupInts(1, 4, dreamsim.EffectiveIntraParallel(0)) {
+				rep.Sweeps = append(rep.Sweeps, mkIntraMatrixSweep(procs, ip))
+			}
+		}
+	}
+	if !*noScan {
+		for _, ip := range dedupInts(1, 4, dreamsim.EffectiveIntraParallel(0)) {
+			rep.Sweeps = append(rep.Sweeps, mkScanSweep(*scanNodes, ip, *runs))
 		}
 	}
 	if !*noLarge {

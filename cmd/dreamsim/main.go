@@ -45,6 +45,7 @@ func main() {
 		replicate   = flag.Int("replicate", 0, "replicate the run over N seeds and print metric statistics")
 		parallel    = flag.Int("parallel", dreamsim.DefaultParallelism(), "workers for -compare/-replicate fan-out (1 = sequential)")
 		fastSearch  = flag.Bool("fast-search", false, "use the indexed resource-search fast path (identical results and counters)")
+		intraPar    = flag.Int("intra-parallel", 0, "workers inside one run: sharded placement scans and batched same-tick dispatch (0 = auto min(GOMAXPROCS,8), 1 = sequential; identical results at any value)")
 		stream      = flag.Bool("stream", false, "bounded-memory streaming engine: recycle finished tasks, window the monitor series (identical results)")
 		window      = flag.Int("window", 0, "monitoring samples per rolling aggregation window (0 = default on streamed runs; implies sampling)")
 		timelineOut = flag.String("timeline-out", "", "stream rolling-window timeline rows to this CSV file as the run progresses")
@@ -77,6 +78,7 @@ func main() {
 	p.TickStep = *tickStep
 	p.Parallelism = *parallel
 	p.FastSearch = *fastSearch
+	p.IntraParallel = *intraPar
 	p.FaultCrashRate = *faultCrashRate
 	p.FaultMeanDowntime = *faultDowntime
 	p.FaultReconfigRate = *faultReconfRate

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"dreamsim/internal/invariant"
+	"dreamsim/internal/model"
+	"dreamsim/internal/par"
+	"dreamsim/internal/resinfo"
+	"dreamsim/internal/sched"
+)
+
+// Batched same-tick dispatch (DESIGN.md §14): when several arrivals
+// share one simulated tick, their placement decisions are speculated
+// concurrently against the quiescent tick-start state, then committed
+// one by one in the original FIFO firing order. The speculation layer
+// never mutates live state — each worker decides on a search-only
+// shadow of the resource manager with private counters — so the only
+// thing that can make a speculated decision differ from the live one
+// is a state transition committed between tick start and that task's
+// turn (an earlier arrival in the batch placing a task, a same-tick
+// completion or crash firing before the arrival). The capability-shard
+// version vector detects exactly that: a decision for configuration
+// cfg reads only cfg-compatible shards plus static data, so if every
+// shard cfg can reach still carries its tick-start version at commit
+// time, the speculated decision — result and metered charges — is
+// provably the one a live Decide would produce, and is committed
+// as-is. Otherwise the slot is dropped and the arrival falls through
+// to the ordinary live Decide. Either way every report byte, counter
+// and RNG stream is identical to the sequential run; parallelism buys
+// wall time only on ticks where independent capability classes carry
+// concurrent arrivals.
+//
+// Eligibility is decided once at construction (see New): the core must
+// have built the policy itself (per-worker clones share no scratch),
+// the placement criterion must not draw randomness (RandomFit consumes
+// its RNG stream in decision order, which speculation would reorder),
+// and precedence constraints must be off (a parent completing earlier
+// in the tick changes a child's gate, which shard versions do not
+// witness).
+
+// specSlot is one speculated arrival: the task, the decision computed
+// against tick-start state, and the search/housekeeping steps the
+// decision charged on its shadow (committed to the real counters only
+// if the slot validates). evict is the slot-owned copy backing
+// d.Evict — the shadow's FindAnyIdleNode scratch is overwritten by the
+// next speculation on the same worker, so the victims move out.
+type specSlot struct {
+	task      *model.Task
+	d         sched.Decision
+	search    uint64
+	housekeep uint64
+	evict     []*model.Entry
+}
+
+// specRunner is the par.Runner fanning a batch over the workers; each
+// worker decides with its own shadow manager and policy clone, so
+// chunks share no mutable state and the static chunk map keeps every
+// slot's result independent of scheduling.
+type specRunner struct {
+	b *batcher
+}
+
+//dreamsim:noalloc
+func (r *specRunner) RunChunk(w, lo, hi int) {
+	b := r.b
+	for i := lo; i < hi; i++ {
+		sl := &b.slots[i]
+		//lint:allocfree dynamic dispatch: the eligibility gate admits only core-built paper policies, which decide with value logic; TestBatchTickZeroAlloc gates the closed loop
+		d := b.policies[w].Decide(b.shadows[w], sl.task)
+		sl.search, sl.housekeep = b.shadows[w].TakeCharges()
+		if d.Evict != nil {
+			sl.evict = append(sl.evict[:0], d.Evict...)
+			d.Evict = sl.evict
+		}
+		sl.d = d
+	}
+}
+
+// batcher owns the same-tick dispatch machinery: the arrival prefetch
+// buffer between the task source and the engine, the per-worker
+// shadow/policy pairs, and the speculation slots of the current tick.
+type batcher struct {
+	s        *Simulator
+	pool     *par.Pool
+	run      specRunner
+	shadows  []*resinfo.Manager
+	policies []sched.Policy
+
+	// Prefetched tasks not yet handed to scheduleNextArrival, consumed
+	// front to back; head is the task whose arrival event is currently
+	// queued in the engine (the next arrival to fire).
+	buf     []*model.Task
+	bufHead int
+	head    *model.Task
+	srcDone bool
+
+	// Current batch: slots[next:] await their arrivals. vers is the
+	// shard version vector captured when the batch was speculated.
+	slots []specSlot
+	next  int
+	vers  []uint64
+
+	// Lifetime tallies: slots speculated and slots whose decision
+	// survived validation (the rest fell through to the live Decide).
+	// Diagnostics only — equivalence tests assert the machinery
+	// actually engaged, and the bench harness reports the commit rate.
+	nspec   int64
+	ncommit int64
+}
+
+// newBatcher builds the speculation layer at the given worker width
+// (>= 2; Params gating guarantees it).
+func newBatcher(s *Simulator, width int) *batcher {
+	b := &batcher{
+		s:        s,
+		pool:     par.NewPool(width),
+		shadows:  make([]*resinfo.Manager, width),
+		policies: make([]sched.Policy, width),
+	}
+	b.run.b = b
+	for w := 0; w < width; w++ {
+		b.shadows[w] = s.mgr.Shadow()
+		b.policies[w] = sched.New(s.params.PolicyOptions)
+	}
+	return b
+}
+
+// pull draws the next task directly from the source, remembering
+// exhaustion so the source's Next is never called past its end.
+func (b *batcher) pull() (*model.Task, bool) {
+	if b.srcDone {
+		return nil, false
+	}
+	//lint:allocfree interface dispatch: a source's Next is its own allocation contract, same as scheduleNextArrival's direct call
+	task, ok := b.s.source.Next()
+	if !ok {
+		b.srcDone = true
+		return nil, false
+	}
+	return task, true
+}
+
+// nextArrival is the batching replacement for the source in
+// scheduleNextArrival: buffered prefetched tasks first, then the
+// source. The returned task becomes the queued arrival head.
+func (b *batcher) nextArrival() (*model.Task, bool) {
+	if b.bufHead < len(b.buf) {
+		task := b.buf[b.bufHead]
+		b.buf[b.bufHead] = nil
+		b.bufHead++
+		b.head = task
+		return task, true
+	}
+	task, ok := b.pull()
+	if !ok {
+		b.head = nil
+		return nil, false
+	}
+	b.head = task
+	return task, true
+}
+
+// speculate runs at each tick boundary, just before the engine fires
+// the events of tick `tick`. If the queued arrival belongs to this
+// tick, the source is prefetched through the end of the tick (at most
+// one task beyond it is held back in the buffer, to be scheduled by
+// the ordinary arrival chain) and all of the tick's arrivals are
+// decided concurrently against the current — quiescent — state.
+// Batches of one are skipped: a lone arrival gains nothing from
+// speculation and goes through the live path untouched.
+func (b *batcher) speculate(tick int64) {
+	if b.head == nil || b.head.CreateTime != tick {
+		return
+	}
+	if invariant.Enabled {
+		invariant.Assertf(b.next == len(b.slots),
+			"core: speculation batch entered tick %d with %d unconsumed slots",
+			tick, len(b.slots)-b.next)
+		invariant.Assertf(b.bufHead == len(b.buf),
+			"core: speculation batch entered tick %d with %d unscheduled prefetched tasks",
+			tick, len(b.buf)-b.bufHead)
+	}
+	b.slots = b.slots[:0]
+	b.next = 0
+	b.buf = b.buf[:0]
+	b.bufHead = 0
+	b.addSlot(b.head)
+	for {
+		task, ok := b.pull()
+		if !ok {
+			break
+		}
+		b.buf = append(b.buf, task)
+		if task.CreateTime > tick {
+			break // the holdback: scheduled by the arrival chain, next tick's head
+		}
+		b.addSlot(task)
+	}
+	if len(b.slots) < 2 {
+		b.slots = b.slots[:0]
+		return
+	}
+	b.nspec += int64(len(b.slots))
+	b.vers = b.s.mgr.ShardVersions(b.vers)
+	for w := range b.shadows {
+		b.s.mgr.SyncShadow(b.shadows[w])
+	}
+	b.pool.Run(&b.run, len(b.slots))
+}
+
+// addSlot appends a speculation slot for task, reusing the slot's
+// evict backing array from earlier batches.
+func (b *batcher) addSlot(task *model.Task) {
+	if len(b.slots) < cap(b.slots) {
+		b.slots = b.slots[:len(b.slots)+1]
+	} else {
+		b.slots = append(b.slots, specSlot{})
+	}
+	sl := &b.slots[len(b.slots)-1]
+	sl.task = task
+	sl.d = sched.Decision{}
+	sl.search, sl.housekeep = 0, 0
+}
+
+// take offers the arrival of task its speculated decision. A slot
+// commits only if it is the next slot in FIFO order for this very
+// task AND every shard its configuration can reach is untouched since
+// speculation; then the shadow's charges post to the live counters
+// and the decision is returned. An invalidated slot clears the
+// config-resolution cache speculation wrote to the task (the live
+// Decide must re-run — and re-charge — the resolution exactly as a
+// sequential run would) and reports false.
+func (b *batcher) take(task *model.Task) (sched.Decision, bool) {
+	if b.next >= len(b.slots) || b.slots[b.next].task != task {
+		return sched.Decision{}, false
+	}
+	sl := &b.slots[b.next]
+	b.next++
+	if !b.s.mgr.ShardsUnchangedFor(sl.d.Config, b.vers) {
+		task.Resolved, task.ResolvedClosest = nil, false
+		return sched.Decision{}, false
+	}
+	b.s.mgr.ChargeSearch(sl.search)
+	b.s.mgr.ChargeHousekeeping(sl.housekeep)
+	b.ncommit++
+	return sl.d, true
+}
+
+// BatchStats reports how many arrivals were speculated and how many
+// speculated decisions committed over the run so far; both are zero
+// when batched dispatch is off or never formed a batch.
+func (s *Simulator) BatchStats() (speculated, committed int64) {
+	if s.batch == nil {
+		return 0, 0
+	}
+	return s.batch.nspec, s.batch.ncommit
+}

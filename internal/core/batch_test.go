@@ -1,0 +1,392 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"dreamsim/internal/fault"
+	"dreamsim/internal/invariant"
+	"dreamsim/internal/model"
+	"dreamsim/internal/rng"
+	"dreamsim/internal/workload"
+)
+
+// The synthetic generator draws inter-arrival gaps of at least one
+// tick, so a Spec-driven run never has two arrivals share a tick and
+// batched dispatch would be vacuous. collidedSource replays the
+// generator's exact task stream with CreateTimes compressed by quant,
+// which collapses nearby arrivals onto shared ticks while preserving
+// their order. The generator is rebuilt with the same substream
+// derivation as New (config stream, node stream, task stream, in that
+// order) so the tasks reference the very config population the run
+// under test will build from the same seed. Each call produces fresh
+// task structs: runs mutate tasks, so the two sides of an equivalence
+// comparison must never share them.
+func collidedSource(t *testing.T, p Params, quant int64) workload.TaskSource {
+	t.Helper()
+	spec := p.Spec
+	root := rng.New(p.Seed)
+	cfgR := root.Split()
+	_ = root.Split() // node stream, drawn by New itself
+	taskR := root.Split()
+	configs := workload.GenConfigs(cfgR, &spec)
+	gen, err := workload.NewGenerator(taskR, &spec, configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := workload.Drain(gen)
+	for _, task := range tasks {
+		// +1 keeps tick 0 free: the engine starts at 0, and an
+		// arrival already at the clock reading never crosses a tick
+		// boundary, so it could not join a batch.
+		task.CreateTime = task.CreateTime/quant + 1
+	}
+	src, err := workload.SliceSource(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestIntraParallelResultEquivalence is the batched-dispatch contract:
+// a run with IntraParallel workers speculating same-tick arrivals must
+// produce the exact Result — counters (including SchedulerSearch and
+// HousekeepingSteps), report, per-class stats and final snapshot — of
+// the sequential run, across every scheduling feature that interacts
+// with the dispatch path.
+func TestIntraParallelResultEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name string
+		tune func(*Params)
+	}{
+		{"full-reconfig", func(p *Params) { p.Partial = false }},
+		{"partial-reconfig", func(p *Params) { p.Partial = true }},
+		{"heterogeneous-caps", func(p *Params) {
+			p.Partial = true
+			p.Spec.CapKinds = []string{"bram", "dsp"}
+			p.Spec.NodeCapProb = 0.7
+			p.Spec.ConfigCapProb = 0.3
+		}},
+		{"defrag", func(p *Params) {
+			p.Partial = true
+			p.DefragThreshold = 3
+		}},
+		{"bounded-retries", func(p *Params) {
+			p.Partial = true
+			p.MaxSusRetries = 2
+		}},
+		{"faults", func(p *Params) {
+			p.Partial = true
+			p.Faults = fault.Plan{CrashRate: 0.002, MeanDowntime: 150, ReconfigFaultRate: 0.001}
+		}},
+		{"streamed", func(p *Params) {
+			p.Partial = true
+			p.Stream = true
+		}},
+		{"fastsearch-index", func(p *Params) {
+			p.Partial = true
+			p.FastSearch = true
+			p.FastSearchCutoff = 1
+		}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			base := smallParams(40, 600, true)
+			sc.tune(&base)
+
+			run := func(ip int) (*Result, *Simulator) {
+				p := base
+				p.IntraParallel = ip
+				p.Source = collidedSource(t, p, 8)
+				s, err := New(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, s
+			}
+
+			sres, _ := run(1)
+			for _, ip := range []int{4, 8} {
+				pres, s := run(ip)
+				if sres.Counters != pres.Counters {
+					t.Fatalf("ip=%d: counters diverged:\nseq %+v\npar %+v", ip, sres.Counters, pres.Counters)
+				}
+				if sres.Report != pres.Report {
+					t.Fatalf("ip=%d: reports diverged:\nseq %+v\npar %+v", ip, sres.Report, pres.Report)
+				}
+				if !reflect.DeepEqual(sres, pres) {
+					t.Fatalf("ip=%d: results diverged", ip)
+				}
+				// The comparison must not be vacuous: the compressed
+				// stream has to form real batches, and at least some
+				// speculated decisions have to survive validation.
+				spec, commit := s.BatchStats()
+				if s.batch == nil || spec == 0 {
+					t.Fatalf("ip=%d: batched dispatch never engaged (speculated=%d)", ip, spec)
+				}
+				if commit == 0 {
+					t.Fatalf("ip=%d: no speculated decision committed (of %d)", ip, spec)
+				}
+			}
+		})
+	}
+}
+
+// TestIntraParallelSliceSourceBaseline pins the harness itself: the
+// quantized SliceSource run at IntraParallel 1 must equal the same
+// source run with batching disabled entirely (IntraParallel 0), so
+// the equivalence above measures batching and nothing else.
+func TestIntraParallelSliceSourceBaseline(t *testing.T) {
+	base := smallParams(30, 400, true)
+	run := func(ip int) *Result {
+		p := base
+		p.IntraParallel = ip
+		p.Source = collidedSource(t, p, 8)
+		return mustRun(t, p)
+	}
+	if a, b := run(0), run(1); !reflect.DeepEqual(a, b) {
+		t.Fatal("IntraParallel 0 and 1 diverged on the same source")
+	}
+}
+
+// batchCollideScenario is a two-class scenario whose per-class clocks
+// collide constantly (uniform gaps of at most three ticks each), so
+// batched dispatch forms batches on a source that also supports
+// checkpointing — the Generator cannot collide ticks, and SliceSource
+// cannot checkpoint.
+const batchCollideScenario = `dreamsim-scenario v1
+tasks 500
+interval 3
+class batch
+  fraction 0.5
+  reqtime 500 20000 uniform
+end
+class interactive
+  fraction 0.5
+  reqtime 100 2000 uniform
+end
+`
+
+// scenarioParams builds the shared parameter set for the scenario
+// tests below.
+func scenarioParams(t *testing.T, ip int) Params {
+	t.Helper()
+	scn, err := workload.ParseScenario(batchCollideScenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallParams(30, 500, true)
+	p.Scenario = scn
+	p.IntraParallel = ip
+	return p
+}
+
+// TestIntraParallelScenarioEquivalence extends the equivalence gate to
+// the multi-class scenario source, whose interleaved class clocks are
+// the one paper-surface way same-tick arrivals occur naturally.
+func TestIntraParallelScenarioEquivalence(t *testing.T) {
+	sref := mustRun(t, scenarioParams(t, 1))
+	p := scenarioParams(t, 4)
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sref, pres) {
+		t.Fatalf("scenario run diverged:\nseq %+v\npar %+v", sref.Counters, pres.Counters)
+	}
+	if spec, commit := s.BatchStats(); spec == 0 || commit == 0 {
+		t.Fatalf("scenario run formed no committed batches (speculated=%d committed=%d)", spec, commit)
+	}
+}
+
+// TestIntraParallelSnapshotResume covers checkpointing under batched
+// dispatch: pausing is only legal at tick boundaries, where the
+// batcher is provably empty, so a snapshot taken from a batching run
+// must restore and finish identically — including when the restoring
+// side uses a different parallelism level than the snapshotting side
+// (the fingerprint deliberately excludes IntraParallel, exactly like
+// FastSearch: neither changes a single result byte).
+func TestIntraParallelSnapshotResume(t *testing.T) {
+	ref := mustRun(t, scenarioParams(t, 1))
+	paused := 0
+	for _, target := range []uint64{40, 200, 700} {
+		for _, levels := range [][2]int{{4, 4}, {4, 1}, {1, 4}} {
+			snap, ok := pauseAndSnapshot(t, scenarioParams(t, levels[0]), target)
+			if !ok {
+				continue
+			}
+			paused++
+			s2, err := RestoreSnapshot(scenarioParams(t, levels[1]), snap)
+			if err != nil {
+				t.Fatalf("RestoreSnapshot at %d events (ip %d->%d): %v", target, levels[0], levels[1], err)
+			}
+			if !s2.RunUntil(nil) {
+				t.Fatal("restored run paused with a nil pause")
+			}
+			got, err := s2.Finish()
+			if err != nil {
+				t.Fatalf("restored Finish: %v", err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("target=%d ip %d->%d: restored run diverged", target, levels[0], levels[1])
+			}
+		}
+	}
+	if paused < 6 {
+		t.Fatalf("only %d pause points exercised", paused)
+	}
+}
+
+// pairSource feeds the batched-tick benchmark: two tasks sharing one
+// future tick, re-armed by the driver between cycles.
+type pairSource struct {
+	tasks [2]*model.Task
+	i     int
+}
+
+func (s *pairSource) Next() (*model.Task, bool) {
+	if s.i >= len(s.tasks) {
+		return nil, false
+	}
+	t := s.tasks[s.i]
+	s.i++
+	return t, true
+}
+
+// newBatchTickSim builds a two-node simulator whose steady state is
+// one speculated batch per tick: both same-tick arrivals are decided
+// concurrently; the first slot validates and commits, the second is
+// invalidated by the first commit (both speculations chose the same
+// best node) and falls through to the live Decide. One cycle therefore
+// walks every batched-dispatch path — prefetch, speculation fan-out,
+// commit, invalidation — plus the sequential fallback.
+func newBatchTickSim(tb testing.TB) (*Simulator, *pairSource) {
+	tb.Helper()
+	p := smallParams(2, 2, true)
+	p.Spec.Configs = 1
+	p.Spec.ConfigAreaLow, p.Spec.ConfigAreaHigh = 1000, 1000
+	p.Spec.NodeAreaLow, p.Spec.NodeAreaHigh = 1500, 1500
+	p.IntraParallel = 4
+	src := &pairSource{}
+	p.Source = src
+	s, err := New(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if s.batch == nil {
+		tb.Fatal("batcher not engaged")
+	}
+	src.tasks[0] = model.NewTask(0, 1000, 0, 50, 0)
+	src.tasks[1] = model.NewTask(1, 1000, 0, 50, 0)
+	src.i = len(src.tasks) // exhausted until the first cycle re-arms it
+	s.ran = true           // drive the loop by hand, as tickCycle does
+	return s, src
+}
+
+// batchTickCycle re-arms the pair one tick in the future and runs the
+// engine dry: speculate fires at the tick boundary, both arrivals
+// dispatch, both completions drain.
+func batchTickCycle(tb testing.TB, s *Simulator, src *pairSource) {
+	now := s.eng.Now()
+	for _, task := range src.tasks {
+		task.Status = model.TaskCreated
+		task.AssignedConfig = -1
+		task.CreateTime = now + 1
+		task.StartTime, task.CompletionTime = -1, -1
+		task.CommDelay, task.ConfigDelay = 0, 0
+		task.SusRetry, task.Retries = 0, 0
+	}
+	src.i = 0
+	s.arrDone = false
+	s.batch.srcDone = false
+	s.batch.head = nil
+	s.scheduleNextArrival()
+	s.RunUntil(nil)
+	if s.err != nil {
+		tb.Fatal(s.err)
+	}
+	for _, task := range src.tasks {
+		if task.Status != model.TaskCompleted {
+			tb.Fatalf("batched tick left task %d %v", task.No, task.Status)
+		}
+	}
+}
+
+// BenchmarkBatchTick is the batched twin of BenchmarkTick: the
+// steady-state cost of a two-arrival speculated tick. Must report 0
+// allocs/op — the speculation buffers, version vector, shadow sync and
+// worker dispatch all reuse their backing across ticks.
+func BenchmarkBatchTick(b *testing.B) {
+	s, src := newBatchTickSim(b)
+	for i := 0; i < 8; i++ {
+		batchTickCycle(b, s, src)
+	}
+	spec, commit := s.BatchStats()
+	if spec == 0 || commit == 0 {
+		b.Fatalf("warmup formed no committed batches (speculated=%d committed=%d)", spec, commit)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batchTickCycle(b, s, src)
+	}
+}
+
+// TestBatchTickZeroAlloc is the test-suite form of the benchmark gate.
+func TestBatchTickZeroAlloc(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate their message arguments")
+	}
+	if invariant.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	s, src := newBatchTickSim(t)
+	for i := 0; i < 8; i++ {
+		batchTickCycle(t, s, src)
+	}
+	if spec, commit := s.BatchStats(); spec == 0 || commit == 0 {
+		t.Fatalf("warmup formed no committed batches (speculated=%d committed=%d)", spec, commit)
+	}
+	if avg := testing.AllocsPerRun(200, func() { batchTickCycle(t, s, src) }); avg != 0 {
+		t.Fatalf("batched scheduler tick allocates: %.1f allocs/op", avg)
+	}
+}
+
+// TestTickZeroAllocIntraParallel re-runs the plain single-arrival tick
+// gate with the parallel machinery constructed: a lone arrival skips
+// speculation (batches of one gain nothing) and must stay
+// allocation-free through the live path.
+func TestTickZeroAllocIntraParallel(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariant assertions allocate their message arguments")
+	}
+	if invariant.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	p := smallParams(1, 1, true)
+	p.Spec.Configs = 1
+	p.Spec.ConfigAreaLow, p.Spec.ConfigAreaHigh = 1000, 1000
+	p.Spec.NodeAreaLow, p.Spec.NodeAreaHigh = 1500, 1500
+	p.Spec.Nodes = 1
+	p.IntraParallel = 4
+	p.Source = emptySource{}
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := model.NewTask(0, 1000, 0, 50, 0)
+	for i := 0; i < 8; i++ {
+		tickCycle(t, s, task)
+	}
+	if avg := testing.AllocsPerRun(200, func() { tickCycle(t, s, task) }); avg != 0 {
+		t.Fatalf("scheduler tick with IntraParallel allocates: %.1f allocs/op", avg)
+	}
+}

@@ -80,6 +80,18 @@ type Params struct {
 	// threshold. Zero means resinfo.DefaultFastSearchCutoff; 1 forces
 	// the index on any population. Ignored unless FastSearch is set.
 	FastSearchCutoff int
+	// IntraParallel, when > 1, spends that many worker goroutines
+	// inside the single run: the resource manager's placement scans
+	// shard-dispatch onto a bounded pool (above resinfo's span cutoff),
+	// and same-tick arrivals are decided speculatively in parallel and
+	// committed in FIFO order (see batch.go). Every report byte,
+	// metered counter and RNG stream is identical to a sequential run;
+	// the knob trades wall time only. <= 1 is exactly the sequential
+	// path. Batched dispatch additionally requires the core-built
+	// policy with a deterministic placement criterion and no
+	// precedence constraints; runs outside that envelope keep the
+	// parallel scans but dispatch sequentially.
+	IntraParallel int
 	// Debug validates all structural invariants after every event;
 	// expensive, meant for tests.
 	Debug bool
@@ -175,6 +187,10 @@ type Simulator struct {
 	depsOn     bool // precedence constraints active (Params.Deps non-empty)
 	err        error
 
+	// batch is the same-tick speculative dispatch layer; nil unless
+	// Params.IntraParallel > 1 and the run is batching-eligible.
+	batch *batcher
+
 	// Pre-bound event handlers: allocated once per run so scheduling
 	// an event is allocation-free (payloads ride in the event's A/B
 	// slots instead of fresh closures).
@@ -222,6 +238,9 @@ func New(params Params) (*Simulator, error) {
 			cutoff = resinfo.DefaultFastSearchCutoff
 		}
 		mgrOpts = append(mgrOpts, resinfo.WithFastSearchCutoff(cutoff))
+	}
+	if params.IntraParallel > 1 {
+		mgrOpts = append(mgrOpts, resinfo.WithIntraParallel(params.IntraParallel))
 	}
 	mgr, err := resinfo.New(nodes, configs, counters, mgrOpts...)
 	if err != nil {
@@ -284,11 +303,11 @@ func New(params Params) (*Simulator, error) {
 	ctx.prepare(len(nodes), len(configs), depMax, plan.Enabled())
 
 	s := &Simulator{
-		params:    params,
-		ctx:       ctx,
-		eng:       &ctx.eng,
-		mgr:       mgr,
-		policy:    policy,
+		params: params,
+		ctx:    ctx,
+		eng:    &ctx.eng,
+		mgr:    mgr,
+		policy: policy,
 		//lint:rngflow the checkpoint must capture the very stream the policy consumes; a Split substream would diverge from it
 		policyRNG: policyRNG,
 		source:    source,
@@ -338,6 +357,15 @@ func New(params Params) (*Simulator, error) {
 			return nil, err
 		}
 		s.inj = inj
+	}
+	if params.IntraParallel > 1 && params.Policy == nil &&
+		params.PolicyOptions.Placement != sched.RandomFit && !s.depsOn {
+		// Batched same-tick dispatch (batch.go). Custom policies may
+		// carry scratch state unsafe to clone; RandomFit draws its RNG
+		// in decision order; precedence gates read parent state shard
+		// versions cannot witness — those runs keep sequential dispatch
+		// (the sharded parallel scans still apply above the span gate).
+		s.batch = newBatcher(s, params.IntraParallel)
 	}
 	return s, nil
 }
@@ -407,7 +435,12 @@ func (s *Simulator) Run() (*Result, error) {
 	if err := s.Start(); err != nil {
 		return nil, err
 	}
-	s.eng.Run(func() bool { return s.err != nil })
+	if s.batch != nil {
+		// Batched dispatch needs the tick-boundary speculation hook.
+		s.RunUntil(nil)
+	} else {
+		s.eng.Run(func() bool { return s.err != nil })
+	}
 	return s.Finish()
 }
 
@@ -447,8 +480,18 @@ func (s *Simulator) RunUntil(pause func(now int64, processed uint64) bool) bool 
 		if !ok {
 			return true
 		}
-		if next > s.eng.Now() && pause != nil && pause(s.eng.Now(), s.eng.Processed()) {
-			return false
+		if next > s.eng.Now() {
+			if pause != nil && pause(s.eng.Now(), s.eng.Processed()) {
+				return false
+			}
+			if s.batch != nil {
+				// Crossing into tick `next`: speculate its arrival batch
+				// against the still-quiescent state. At a pause boundary
+				// (above) the batcher holds nothing — prefetched tasks
+				// are always scheduled within their own tick — so
+				// checkpoints never see speculation state.
+				s.batch.speculate(next)
+			}
 		}
 		s.eng.Step()
 	}
@@ -476,6 +519,12 @@ func (s *Simulator) Finish() (*Result, error) {
 	if s.ctx.depBlockedCount != 0 {
 		return nil, fmt.Errorf("core: run ended with %d tasks still blocked on dependencies",
 			s.ctx.depBlockedCount)
+	}
+	if s.batch != nil {
+		// The queue drained, so no tick will speculate again; release
+		// the worker goroutines now instead of waiting for the GC
+		// finalizer (sweeps build thousands of Simulators).
+		s.batch.pool.Close()
 	}
 	s.c.SimulationTime = s.eng.Now() // Eq. 5
 	s.c.UsedNodes = int64(s.ctx.usedCount)
@@ -514,8 +563,17 @@ func (s *Simulator) classAccOf(task *model.Task) *metrics.ClassCounters {
 // scheduleNextArrival pulls the next task from the source and queues
 // its arrival event.
 func (s *Simulator) scheduleNextArrival() {
-	//lint:allocfree interface dispatch: a source's Next is its own allocation contract; the streaming generator recycles task structs and TestTickZeroAlloc gates the closed loop
-	task, ok := s.source.Next()
+	var task *model.Task
+	var ok bool
+	if s.batch != nil {
+		// Prefetched tasks flow back through the batcher so arrival
+		// events are scheduled in the exact source order, one at a time,
+		// just as the direct path does.
+		task, ok = s.batch.nextArrival()
+	} else {
+		//lint:allocfree interface dispatch: a source's Next is its own allocation contract; the streaming generator recycles task structs and TestTickZeroAlloc gates the closed loop
+		task, ok = s.source.Next()
+	}
 	if !ok {
 		s.arrDone = true
 		if tr, isTrace := s.source.(*workload.TraceReader); isTrace && tr.Err() != nil {
@@ -555,6 +613,13 @@ func (s *Simulator) handleArrival(task *model.Task, now int64) {
 		case gateBlocked:
 			s.ctx.setBlocked(task)
 			s.emit("hold", now, task)
+			s.debugCheck()
+			return
+		}
+	}
+	if s.batch != nil {
+		if d, ok := s.batch.take(task); ok {
+			s.dispatch(task, d, now)
 			s.debugCheck()
 			return
 		}

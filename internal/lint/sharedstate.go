@@ -1,12 +1,16 @@
 // The sharedstate analyzer: the parallel engine's safety contract,
 // checked instead of by-convention. Every closure handed to
-// exec.Do/DoWorkers/Map/MapWorkers runs concurrently with its
-// siblings, so any mutable state it reaches from outside its own
-// frame — captured variables, package-level variables, memory behind
-// captured pointers — must be either
+// exec.Do/DoWorkers/Map/MapWorkers or to the intra-run pool's
+// par.ForChunks runs concurrently with its siblings, so any mutable
+// state it reaches from outside its own frame — captured variables,
+// package-level variables, memory behind captured pointers — must be
+// either
 //
 //   - written only through a per-unit slot (indexed by the closure's
-//     unit or worker index parameter, like out[i] = v),
+//     unit or worker index parameter, like out[i] = v; for ForChunks
+//     closures a local derived from the chunk bound, like
+//     `for i := lo; ...; i++ { out[i] = v }`, counts — static
+//     chunking makes [lo, hi) the worker's own range),
 //   - donated per worker (obtained through the recognised
 //     `return s[w]` pool shape, like scratch.get(w)),
 //   - synchronized (under a sync.Mutex/RWMutex Lock, or via
@@ -21,34 +25,56 @@
 // summarised, so calling a captured func value is itself a finding
 // unless serialised under a lock.
 //
-// internal/exec itself is exempt: the executor's own index-claiming
-// writes are the mechanism that makes the contract hold.
+// internal/exec and internal/par themselves are exempt: the
+// executors' own index-claiming and chunk-dispatch writes are the
+// mechanism that makes the contract hold.
 package lint
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // SharedState flags unsynchronized shared mutable state reachable
 // from exec worker closures.
 var SharedState = &Analyzer{
 	Name: "sharedstate",
-	Doc: "closures handed to exec.Do/DoWorkers/Map/MapWorkers must not " +
-		"write shared state except through per-unit indices, per-worker " +
-		"donation, sync/atomic, or a held mutex",
+	Doc: "closures handed to exec.Do/DoWorkers/Map/MapWorkers or " +
+		"par.ForChunks must not write shared state except through " +
+		"per-unit indices, per-worker donation, sync/atomic, or a held mutex",
 	RunProgram: runSharedState,
 }
 
-var execUnitFuncs = map[string]bool{
-	"Do": true, "DoWorkers": true, "Map": true, "MapWorkers": true,
+// workerUnitFuncs maps an executor package's import-path suffix to the
+// functions whose final argument is a concurrently-run unit closure.
+var workerUnitFuncs = map[string]map[string]bool{
+	"internal/exec": {"Do": true, "DoWorkers": true, "Map": true, "MapWorkers": true},
+	"internal/par":  {"ForChunks": true},
+}
+
+// unitDispatcher resolves a call to one of the recognised worker-pool
+// entry points, returning the display name ("exec.Do",
+// "par.ForChunks") used in findings.
+func unitDispatcher(callee *types.Func) (string, bool) {
+	if callee == nil || callee.Pkg() == nil {
+		return "", false
+	}
+	for suffix, names := range workerUnitFuncs {
+		if pathHasSuffix(callee.Pkg().Path(), suffix) && names[callee.Name()] {
+			base := suffix[strings.LastIndexByte(suffix, '/')+1:]
+			return base + "." + callee.Name(), true
+		}
+	}
+	return "", false
 }
 
 func runSharedState(pp *ProgramPass) error {
 	prog := pp.Program
 	for _, fi := range prog.Ordered {
-		if pathHasSuffix(fi.Pkg.Path, "internal/exec") {
+		if pathHasSuffix(fi.Pkg.Path, "internal/exec") ||
+			pathHasSuffix(fi.Pkg.Path, "internal/par") {
 			continue
 		}
 		fi := fi
@@ -58,20 +84,19 @@ func runSharedState(pp *ProgramPass) error {
 				return true
 			}
 			callee := StaticCallee(fi.Pkg.Info, call)
-			if callee == nil || callee.Pkg() == nil ||
-				!pathHasSuffix(callee.Pkg().Path(), "internal/exec") ||
-				!execUnitFuncs[callee.Name()] || len(call.Args) == 0 {
+			name, ok := unitDispatcher(callee)
+			if !ok || len(call.Args) == 0 {
 				return true
 			}
 			unit := ast.Unparen(call.Args[len(call.Args)-1])
 			lit, ok := unit.(*ast.FuncLit)
 			if !ok {
 				pp.Reportf(unit.Pos(),
-					"unit passed to exec.%s is not a func literal; its shared-state safety cannot be checked",
-					callee.Name())
+					"unit passed to %s is not a func literal; its shared-state safety cannot be checked",
+					name)
 				return true
 			}
-			checkUnit(pp, prog, fi, lit, "exec."+callee.Name())
+			checkUnit(pp, prog, fi, lit, name)
 			return true
 		})
 	}
@@ -279,15 +304,27 @@ func (c *unitChecker) stmt(st ast.Stmt) {
 				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
 					if v, ok := c.info().Defs[id].(*types.Var); ok && i < len(st.Rhs) {
 						c.locals[v] = c.bindClass(st.Rhs[i])
+						// A local seeded from a safe index (the chunk
+						// loop's `i := lo`) stays inside the unit's own
+						// range under static chunking, so it projects
+						// per-unit slots too.
+						if c.safeIndex(st.Rhs[i]) {
+							c.safe[v] = true
+						}
 					}
 				}
 				continue
 			}
 			c.write(lhs)
-			// Rebinding a closure-local pointer re-classes it.
+			// Rebinding a closure-local pointer re-classes it; a safe
+			// index reassigned from anything but another safe index
+			// (i = 0, not the loop's i++) loses its safety.
 			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
 				if v, ok := c.info().ObjectOf(id).(*types.Var); ok && c.declaredInLit(v) && i < len(st.Rhs) {
 					c.locals[v] = c.bindClass(st.Rhs[i])
+					if st.Tok == token.ASSIGN && c.safe[v] && !c.safeIndex(st.Rhs[i]) {
+						delete(c.safe, v)
+					}
 				}
 			}
 		}

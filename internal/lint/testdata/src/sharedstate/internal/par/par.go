@@ -1,0 +1,29 @@
+// Package par mirrors the intra-run worker pool's API shape for the
+// sharedstate fixture: the analyzer recognises chunk dispatchers by
+// the internal/par import-path suffix and the ForChunks name, so the
+// fixture needs its own copy with a matching signature.
+package par
+
+// ForChunks splits [0, n) into contiguous chunks and invokes
+// fn(w, lo, hi) per chunk (here: sequentially — only the signature
+// matters to the analyzer).
+func ForChunks(workers, n int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	k := workers
+	if k < 1 {
+		k = 1
+	}
+	if n < k {
+		k = n
+	}
+	size := (n + k - 1) / k
+	for w := 0; w*size < n; w++ {
+		lo, hi := w*size, (w+1)*size
+		if hi > n {
+			hi = n
+		}
+		fn(w, lo, hi)
+	}
+}

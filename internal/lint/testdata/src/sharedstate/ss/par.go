@@ -1,0 +1,52 @@
+// The par.ForChunks cases: intra-run worker closures obey the same
+// shared-state contract as exec units. The shape under test is the
+// resource manager's capability shards — per-chunk rebuild writes are
+// fine, but a write to a fixed shard slot or to manager-wide state
+// from inside a chunk closure races with the sibling workers.
+package ss
+
+import (
+	"dreamsim/internal/lint/testdata/src/sharedstate/internal/par"
+)
+
+type shard struct {
+	count int
+	ver   uint64
+}
+
+type shardedMgr struct {
+	shards []shard
+	ver    uint64
+}
+
+func RebuildShards(m *shardedMgr) {
+	par.ForChunks(4, len(m.shards), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.shards[i].count = 0 // the chunk's own shards: safe
+		}
+		m.shards[0].ver++ // want `par.ForChunks unit writes shared state through m.shards\[\.\.\.\].ver`
+		m.ver++           // want `par.ForChunks unit writes shared state through m.ver`
+	})
+}
+
+func ChunkSums(vals []int64, sums []int64) {
+	par.ForChunks(len(sums), len(vals), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sums[w] += vals[i] // the worker's own slot: safe
+		}
+	})
+}
+
+func EscapedChunkIndex(out []int) {
+	par.ForChunks(4, len(out), func(w, lo, hi int) {
+		i := lo
+		i = 0      // reassignment off the chunk bound forfeits safety
+		out[i] = w // want `par.ForChunks unit writes shared state through out\[\.\.\.\]`
+	})
+}
+
+func ChunkCapturedFunc(flush func()) {
+	par.ForChunks(4, 8, func(w, lo, hi int) {
+		flush() // want `par.ForChunks unit calls captured flush, whose effects on shared state cannot be proven`
+	})
+}

@@ -63,6 +63,10 @@ type Node struct {
 	// (the fabric state died with it) and is excluded from every
 	// placement search until Restore brings it back blank.
 	Down bool
+	// Slot is the node's position in its resource manager's node
+	// slice, maintained by resinfo.New; the manager's SoA scan arrays
+	// (free area, capability mask, state flags) are indexed by it.
+	Slot int
 }
 
 // NewNode returns a blank node with the given geometry.

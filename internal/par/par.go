@@ -1,0 +1,201 @@
+// Package par is the intra-run worker pool: a fixed set of persistent
+// goroutines that split one index range into contiguous chunks and run
+// them concurrently. It exists for the resource manager's placement
+// scans and the core batcher's same-tick speculation, both of which
+// demand two properties the general executor (internal/exec) does not
+// provide on its hot path:
+//
+//   - Zero allocations per dispatch. Run sends plain chunk structs over
+//     a pre-made channel; there are no closures, contexts or WaitGroups
+//     per call, so a scan kernel dispatched thousands of times per run
+//     stays allocation-free.
+//   - Static chunking. Each worker index owns one deterministic
+//     contiguous range of [0, n), decided by arithmetic alone — never by
+//     which goroutine claimed an index first — so per-worker partial
+//     results (argmin slots, speculative decisions) land in the same
+//     slot on every run and reductions are order-independent of the OS
+//     scheduler.
+//
+// The determinism contract still demands care from the Runner: chunk
+// results must be combined by a rule that does not depend on completion
+// order (see DESIGN.md §14).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner is one parallelizable computation. RunChunk processes the
+// half-open index range [lo, hi) as worker w; it runs concurrently
+// with the other workers' chunks, so it may write only state that
+// worker w owns (typically a result slot indexed by w).
+type Runner interface {
+	RunChunk(w, lo, hi int)
+}
+
+// chunk is one unit of dispatched work.
+type chunk struct {
+	r      Runner
+	w      int
+	lo, hi int
+}
+
+// pool is the shared state the worker goroutines hold. It is split
+// from Pool so that an abandoned Pool can be finalized: the workers
+// reference only the inner struct, leaving the outer handle
+// collectable, and its finalizer closes the jobs channel so the
+// goroutines exit instead of leaking.
+type pool struct {
+	workers int
+	jobs    chan chunk
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (p *pool) work() {
+	for c := range p.jobs {
+		c.r.RunChunk(c.w, c.lo, c.hi)
+		p.done <- struct{}{}
+	}
+}
+
+func (p *pool) close() { p.once.Do(func() { close(p.jobs) }) }
+
+// Pool dispatches Runners over a bounded set of persistent workers.
+// A Pool is owned by one goroutine: Run may not be called
+// concurrently with itself or with Close.
+type Pool struct {
+	inner *pool
+}
+
+// NewPool starts a pool of the given width; workers < 2 yields nil
+// (callers treat a nil pool as "run sequentially"). The pool keeps
+// workers-1 goroutines parked — the caller's goroutine is the final
+// worker, running chunk 0 inline during Run — and they exit when the
+// pool is closed or garbage-collected.
+func NewPool(workers int) *Pool {
+	if workers < 2 {
+		return nil
+	}
+	inner := &pool{
+		workers: workers,
+		jobs:    make(chan chunk),
+		done:    make(chan struct{}, workers),
+	}
+	for i := 1; i < workers; i++ {
+		go inner.work()
+	}
+	p := &Pool{inner: inner}
+	runtime.SetFinalizer(p, func(p *Pool) { p.inner.close() })
+	return p
+}
+
+// Workers reports the pool's width (including the caller's goroutine).
+func (p *Pool) Workers() int { return p.inner.workers }
+
+// Chunks reports how many chunks Run(r, n) executes: worker slots w in
+// [0, Chunks(n)) receive RunChunk calls, higher slots do not — their
+// per-worker result cells keep stale contents, so reductions must stop
+// at this bound. Ceil-division chunking can exhaust n before the full
+// width (for example n=9 at width 8 yields 5 chunks of size 2).
+func (p *Pool) Chunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	k := p.inner.workers
+	if n < k {
+		k = n
+	}
+	size := (n + k - 1) / k
+	return (n + size - 1) / size
+}
+
+// Close stops the worker goroutines. Run must not be called after
+// Close. Closing is optional — an unreachable Pool is finalized — but
+// deterministic shutdown (tests, checkpoint teardown) can force it.
+func (p *Pool) Close() {
+	p.inner.close()
+	runtime.SetFinalizer(p, nil)
+}
+
+// Run splits [0, n) into at most Workers contiguous chunks and
+// executes r over them concurrently, returning when every chunk is
+// done. Chunk boundaries depend only on n and the pool width, and
+// worker w always receives the w-th chunk, so per-worker result slots
+// are stable across runs. The calling goroutine executes chunk 0
+// itself. Run performs no allocations.
+func (p *Pool) Run(r Runner, n int) {
+	if n <= 0 {
+		return
+	}
+	k := p.inner.workers
+	if n < k {
+		k = n
+	}
+	size := (n + k - 1) / k
+	sent := 0
+	for w := 1; w < k; w++ {
+		lo := w * size
+		if lo >= n {
+			break
+		}
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		p.inner.jobs <- chunk{r: r, w: w, lo: lo, hi: hi}
+		sent++
+	}
+	if size > n {
+		size = n
+	}
+	//lint:allocfree dynamic dispatch: every Runner handed to Run is itself a //dreamsim:noalloc kernel; TestBatchTickZeroAlloc and the scan benches gate the closed loops
+	r.RunChunk(0, 0, size)
+	for i := 0; i < sent; i++ {
+		<-p.inner.done
+	}
+}
+
+// ForChunks is the convenience closure form of Run for cold paths:
+// it splits [0, n) into at most workers contiguous chunks and invokes
+// fn(w, lo, hi) concurrently, spawning transient goroutines (one
+// closure and one goroutine per chunk — do not use on an
+// allocation-gated path). The same chunking and worker-slot rules as
+// Pool.Run apply, and the same shared-state discipline: fn may write
+// only state owned by its worker index w (the sharedstate analyzer
+// checks closures handed to ForChunks).
+func ForChunks(workers, n int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	k := workers
+	if k < 1 {
+		k = 1
+	}
+	if n < k {
+		k = n
+	}
+	size := (n + k - 1) / k
+	var wg sync.WaitGroup
+	for w := 1; w < k; w++ {
+		lo := w * size
+		if lo >= n {
+			break
+		}
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	if size > n {
+		size = n
+	}
+	fn(0, 0, size)
+	wg.Wait()
+}

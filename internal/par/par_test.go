@@ -1,0 +1,184 @@
+package par_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"dreamsim/internal/invariant"
+	"dreamsim/internal/par"
+)
+
+// sumRunner accumulates per-worker partial sums into stride-padded
+// slots; the test reduces them afterwards.
+type sumRunner struct {
+	in   []int64
+	out  []int64 // slot w*8
+	seen []int32 // per-index visit counts (each index exactly once)
+}
+
+func (r *sumRunner) RunChunk(w, lo, hi int) {
+	var s int64
+	for i := lo; i < hi; i++ {
+		s += r.in[i]
+		r.seen[i]++
+	}
+	r.out[w*8] += s
+}
+
+func newSumRunner(n int, workers int) *sumRunner {
+	r := &sumRunner{
+		in:   make([]int64, n),
+		out:  make([]int64, workers*8),
+		seen: make([]int32, n),
+	}
+	for i := range r.in {
+		r.in[i] = int64(i + 1)
+	}
+	return r
+}
+
+func (r *sumRunner) total() int64 {
+	var s int64
+	for _, v := range r.out {
+		s += v
+	}
+	return s
+}
+
+func TestPoolCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{2, 3, 4, 8} {
+		p := par.NewPool(workers)
+		if p == nil {
+			t.Fatalf("NewPool(%d) = nil", workers)
+		}
+		for _, n := range []int{0, 1, 2, workers - 1, workers, workers + 1, 1000, 4097} {
+			r := newSumRunner(n, workers)
+			p.Run(r, n)
+			want := int64(n) * int64(n+1) / 2
+			if got := r.total(); got != want {
+				t.Fatalf("workers=%d n=%d: sum %d, want %d", workers, n, got, want)
+			}
+			for i, c := range r.seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestNewPoolSequentialWidthIsNil(t *testing.T) {
+	if p := par.NewPool(1); p != nil {
+		t.Fatal("NewPool(1) should be nil: sequential width needs no pool")
+	}
+	if p := par.NewPool(0); p != nil {
+		t.Fatal("NewPool(0) should be nil")
+	}
+}
+
+// TestPoolChunkingIsStatic pins the determinism property: worker w's
+// chunk bounds depend only on (n, width), never on scheduling.
+func TestPoolChunkingIsStatic(t *testing.T) {
+	p := par.NewPool(4)
+	defer p.Close()
+	var ref []map[int]span
+	for round := 0; round < 20; round++ {
+		var rounds []map[int]span
+		for _, n := range []int{5, 64, 1000} {
+			r := &recordRunner{got: make(map[int]span, 4)}
+			p.Run(r, n)
+			rounds = append(rounds, r.got)
+		}
+		if ref == nil {
+			ref = rounds
+			continue
+		}
+		for i := range rounds {
+			for w, s := range rounds[i] {
+				if ref[i][w] != s {
+					t.Fatalf("round %d: worker %d chunk %v, first run saw %v", round, w, s, ref[i][w])
+				}
+			}
+			if len(rounds[i]) != len(ref[i]) {
+				t.Fatalf("round %d: %d chunks, first run had %d", round, len(rounds[i]), len(ref[i]))
+			}
+		}
+	}
+}
+
+type span struct{ lo, hi int }
+
+type recordRunner struct {
+	mu  sync.Mutex
+	got map[int]span
+}
+
+func (r *recordRunner) RunChunk(w, lo, hi int) {
+	r.mu.Lock()
+	r.got[w] = span{lo, hi}
+	r.mu.Unlock()
+}
+
+func TestPoolRunZeroAlloc(t *testing.T) {
+	if invariant.RaceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	p := par.NewPool(4)
+	defer p.Close()
+	r := newSumRunner(4096, 4)
+	p.Run(r, 4096) // warm
+	if avg := testing.AllocsPerRun(200, func() { p.Run(r, 4096) }); avg != 0 {
+		t.Fatalf("Pool.Run allocates: %.1f allocs/op", avg)
+	}
+}
+
+// TestPoolFinalizerStopsWorkers: an abandoned pool's goroutines must
+// exit after collection rather than leak for the process lifetime.
+func TestPoolFinalizerStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		p := par.NewPool(8)
+		r := newSumRunner(100, 8)
+		p.Run(r, 100)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("worker goroutines survived collection: %d before, %d after",
+		before, runtime.NumGoroutine())
+}
+
+func TestForChunksCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		for _, n := range []int{0, 1, 3, 100} {
+			seen := make([]int32, n)
+			sums := make([]int64, 8*8)
+			par.ForChunks(workers, n, func(w, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seen[i]++
+					sums[w*8] += int64(i + 1)
+				}
+			})
+			var got int64
+			for _, v := range sums {
+				got += v
+			}
+			if want := int64(n) * int64(n+1) / 2; got != want {
+				t.Fatalf("workers=%d n=%d: sum %d, want %d", workers, n, got, want)
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,10 @@
+package resinfo
+
+// SetParSpanMinForTest overrides the parallel-dispatch span gate so
+// tests can force the worker-pool scan kernels onto small populations.
+// It returns a restore function for defer.
+func SetParSpanMinForTest(v int) (restore func()) {
+	old := parSpanMin
+	parSpanMin = v
+	return func() { parSpanMin = old }
+}

@@ -232,23 +232,58 @@ func TestFastSearchEquivalenceProperty(t *testing.T) {
 
 // TestFastSearchFallsBackOnHugeCapSpace: >64 distinct capability
 // names cannot be mask-encoded; the manager must stay on the linear
-// path rather than mis-index.
+// path rather than mis-index, and shard assembly must degrade to one
+// flat shard whose scans use the per-node string test with the same
+// results and metering as a mask-encodable build.
 func TestFastSearchFallsBackOnHugeCapSpace(t *testing.T) {
-	var nodes []*model.Node
-	for i := 0; i < 70; i++ {
-		n := model.NewNode(i, 2000, true)
-		n.Caps = []string{fmt.Sprintf("cap-%d", i)}
-		nodes = append(nodes, n)
+	build := func(opts ...resinfo.Option) (*resinfo.Manager, []*model.Config) {
+		var nodes []*model.Node
+		for i := 0; i < 70; i++ {
+			n := model.NewNode(i, 2000, true)
+			n.Caps = []string{fmt.Sprintf("cap-%d", i)}
+			nodes = append(nodes, n)
+		}
+		cfgs := []*model.Config{
+			{No: 0, ReqArea: 500, ConfigTime: 10},
+			{No: 1, ReqArea: 500, ConfigTime: 10, RequiredCaps: []string{"cap-42"}},
+		}
+		m, err := resinfo.New(nodes, cfgs, &metrics.Counters{}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, cfgs
 	}
-	cfgs := []*model.Config{{No: 0, ReqArea: 500, ConfigTime: 10}}
-	m, err := resinfo.New(nodes, cfgs, &metrics.Counters{}, resinfo.WithFastSearch())
-	if err != nil {
-		t.Fatal(err)
-	}
+
+	m, cfgs := build(resinfo.WithFastSearch())
 	if m.FastSearch() {
 		t.Fatal("index built over an un-encodable capability space")
 	}
+	if m.ShardCount() != 1 {
+		t.Fatalf("un-encodable capability space must collapse to 1 shard, got %d", m.ShardCount())
+	}
 	if n := m.BestBlankNode(cfgs[0]); n == nil {
 		t.Fatal("linear fallback found no node")
+	}
+	if n := m.BestBlankNode(cfgs[1]); n == nil || n.No != 42 {
+		t.Fatalf("flat-shard HasCaps scan missed cap-42: got %v", n)
+	}
+
+	// The sharded manager with pooled kernels forced on must answer and
+	// meter exactly like the plain one even in the degraded regime.
+	defer resinfo.SetParSpanMinForTest(1)()
+	mp, pcfgs := build(resinfo.WithIntraParallel(4))
+	if mp.ShardCount() != 1 {
+		t.Fatalf("pooled degraded manager has %d shards, want 1", mp.ShardCount())
+	}
+	seqBefore := m.Counters().SchedulerSearch
+	for i := range cfgs {
+		a, b := m.BestBlankNode(cfgs[i]), mp.BestBlankNode(pcfgs[i])
+		if (a == nil) != (b == nil) || (a != nil && a.No != b.No) {
+			t.Fatalf("C%d: degraded scan diverged between sequential (%v) and pooled (%v)", i, a, b)
+		}
+	}
+	if delta := m.Counters().SchedulerSearch - seqBefore; delta != mp.Counters().SchedulerSearch {
+		t.Fatalf("degraded-scan metering diverged: sequential %d, pooled %d",
+			delta, mp.Counters().SchedulerSearch)
 	}
 }

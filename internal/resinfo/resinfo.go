@@ -14,6 +14,7 @@ import (
 	"dreamsim/internal/invariant"
 	"dreamsim/internal/metrics"
 	"dreamsim/internal/model"
+	"dreamsim/internal/par"
 	"dreamsim/internal/reslists"
 )
 
@@ -33,6 +34,20 @@ type Manager struct {
 	idx        *nodeIndex
 	cfgPos     map[int]int     // config No -> position in the list
 	cfgByArea  []*model.Config // configs ordered by (ReqArea, position)
+
+	// SoA scan block: the capability-sharded dense arrays the linear
+	// placement scans walk (see soa.go). Built for every manager and
+	// kept in sync by reindex.
+	soa *soaState
+	// Intra-run scan parallelism: pool is nil (sequential scans)
+	// unless WithIntraParallel requested width > 1 AND the population
+	// is large enough for a dispatch to pay (parSpanMin).
+	ipar int
+	pool *par.Pool
+	pj   *parScan
+	// shadow marks a search-only view made by Shadow(); mutating
+	// transitions on a shadow are a bug (asserted under invariants).
+	shadow bool
 
 	// evict is FindAnyIdleNode's reusable victim buffer; the returned
 	// slice is valid until the next placement search.
@@ -77,6 +92,17 @@ func WithFastSearchCutoff(cutoff int) Option {
 	return func(m *Manager) { m.wantFast = true; m.fastCutoff = cutoff }
 }
 
+// WithIntraParallel runs the linear placement scans on a bounded pool
+// of `workers` goroutines when the population is large enough for
+// a dispatch to pay (the same scale gate as parSpanMin). Results and
+// metering are byte-identical to sequential scans: chunk boundaries
+// are static and the argmin reduction breaks ties by node number,
+// never by completion order. Width <= 1 is exactly the sequential
+// path.
+func WithIntraParallel(workers int) Option {
+	return func(m *Manager) { m.ipar = workers }
+}
+
 // New builds a manager over the given resources. Config numbers must
 // be unique; the counters receive all metering.
 //
@@ -102,6 +128,11 @@ func New(nodes []*model.Node, configs []*model.Config, counters *metrics.Counter
 	}
 	counters.TotalNodes = len(nodes)
 	counters.TotalConfigs = len(configs)
+	for i, n := range nodes {
+		n.Slot = i
+	}
+	m.soa = newSoaState(nodes, configs)
+	m.initPool()
 	if m.wantFast && len(nodes) >= m.fastCutoff {
 		if idx, ok := newNodeIndex(nodes, configs); ok {
 			m.idx = idx
@@ -130,12 +161,15 @@ func (m *Manager) reindex(node *model.Node) {
 	// (Configure, EvictIdle, BlankNode, StartTask, FinishTask), so it
 	// is where the -tags invariants build re-checks Eq. 4 area bounds.
 	if invariant.Enabled {
+		invariant.Assertf(!m.shadow,
+			"resinfo: state transition on a search-only shadow manager (node %d)", node.No)
 		invariant.Assertf(node.AvailableArea >= 0 && node.AvailableArea <= node.TotalArea,
 			"resinfo: node %d available area %d outside [0, %d] after a state transition (Eq. 4)",
 			node.No, node.AvailableArea, node.TotalArea)
 		invariant.Assertf(!node.Down || len(node.Entries) == 0,
 			"resinfo: down node %d still holds %d configurations", node.No, len(node.Entries))
 	}
+	m.soa.sync(node.Slot, node)
 	if m.idx != nil {
 		m.idx.sync(m.idx.pos[node], node)
 	}
@@ -395,29 +429,21 @@ func (m *Manager) BestIdleEntry(cfgNo int) *model.Entry {
 	return best
 }
 
-// BestBlankNode scans the node list for blank, capability-compatible
-// nodes that can hold cfg and returns the one with minimum sufficient
-// TotalArea. The fast path answers the same query from the blank-node
-// index in O(log n); the walk always visits every node, so the whole
-// list is charged in both modes.
+// BestBlankNode scans for blank, capability-compatible nodes that can
+// hold cfg and returns the one with minimum sufficient TotalArea. The
+// fast path answers the same query from the blank-node index in
+// O(log n); the linear path scans the SoA block's compatible
+// capability shards (in parallel above parSpanMin when the manager has
+// intra-run workers). The paper's walk always visits every node, so
+// the whole list is charged in every mode.
 //
 //dreamsim:noalloc
 func (m *Manager) BestBlankNode(cfg *model.Config) *model.Node {
+	m.search(uint64(len(m.nodes)))
 	if m.idx != nil {
-		m.search(uint64(len(m.nodes)))
 		return m.idx.bestBlank(cfg)
 	}
-	var best *model.Node
-	var steps uint64
-	for _, n := range m.nodes {
-		steps++
-		if !n.Down && n.Blank() && n.TotalArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) &&
-			(best == nil || n.TotalArea < best.TotalArea) {
-			best = n
-		}
-	}
-	m.search(steps)
-	return best
+	return m.scanBest(cfg, soaBlank, m.soa.total)
 }
 
 // BestPartiallyBlankNode scans for configured, capability-compatible
@@ -429,24 +455,11 @@ func (m *Manager) BestBlankNode(cfg *model.Config) *model.Node {
 //
 //dreamsim:noalloc
 func (m *Manager) BestPartiallyBlankNode(cfg *model.Config) *model.Node {
+	m.search(uint64(len(m.nodes)))
 	if m.idx != nil {
-		m.search(uint64(len(m.nodes)))
 		return m.idx.bestPart(cfg)
 	}
-	var best *model.Node
-	var steps uint64
-	for _, n := range m.nodes {
-		steps++
-		if !n.PartialMode || n.Blank() {
-			continue
-		}
-		if n.AvailableArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) &&
-			(best == nil || n.AvailableArea < best.AvailableArea) {
-			best = n
-		}
-	}
-	m.search(steps)
-	return best
+	return m.scanBest(cfg, soaPart, m.soa.avail)
 }
 
 // FindAnyIdleNode is Algorithm 1 of the paper: walk the node list,
@@ -463,10 +476,23 @@ func (m *Manager) BestPartiallyBlankNode(cfg *model.Config) *model.Node {
 //dreamsim:noalloc
 func (m *Manager) FindAnyIdleNode(cfg *model.Config) (*model.Node, []*model.Entry) {
 	reqArea := cfg.ReqArea
+	s := m.soa
+	req, reqOK := s.reqMask(cfg.RequiredCaps)
 	var steps uint64
 	entries := m.evict[:0]
-	for _, node := range m.nodes {
-		if !node.HasCaps(cfg.RequiredCaps) {
+	for slot, node := range m.nodes {
+		// Capability compatibility from the SoA mask block: one AND
+		// instead of the nested string subset test, with the per-node
+		// HasCaps retained for the unrepresentable cases (>64-name
+		// population, unregistered query capability). An incompatible
+		// node costs the walk one step, exactly as the string test did.
+		var compatible bool
+		if s.maskOK && reqOK {
+			compatible = s.masks[slot]&req == req
+		} else {
+			compatible = node.HasCaps(cfg.RequiredCaps)
+		}
+		if !compatible {
 			steps++
 			continue
 		}
@@ -498,11 +524,12 @@ func (m *Manager) FindAnyIdleNode(cfg *model.Config) (*model.Node, []*model.Entr
 //
 //dreamsim:noalloc
 func (m *Manager) AnyBusyNodeCouldFit(cfg *model.Config) bool {
+	// The linear walk exits at the first match, so the charge is that
+	// node's position (+1) — recovered by the busy index's subtree-
+	// minimum positions in O(log n), or by the sharded first-fit scan's
+	// minimum-slot reduction — or the whole list when no busy node
+	// fits.
 	if m.idx != nil {
-		// The linear walk exits at the first match, so the charge is
-		// that node's position (+1) — which the busy index's subtree-
-		// minimum positions recover in O(log n) — or the whole list
-		// when no busy node fits.
 		if pos := m.idx.firstBusyFit(cfg); pos >= 0 {
 			m.search(uint64(pos) + 1)
 			return true
@@ -510,15 +537,11 @@ func (m *Manager) AnyBusyNodeCouldFit(cfg *model.Config) bool {
 		m.search(uint64(len(m.nodes)))
 		return false
 	}
-	var steps uint64
-	for _, n := range m.nodes {
-		steps++
-		if n.State() == model.StateBusy && n.TotalArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) {
-			m.search(steps)
-			return true
-		}
+	if pos := m.scanFirstFit(cfg, soaBusy); pos >= 0 {
+		m.search(uint64(pos) + 1)
+		return true
 	}
-	m.search(steps)
+	m.search(uint64(len(m.nodes)))
 	return false
 }
 
@@ -535,8 +558,21 @@ func (m *Manager) AnyDownNodeCouldFit(cfg *model.Config) bool {
 	if m.downCount == 0 {
 		return false
 	}
-	for _, n := range m.nodes {
-		if n.Down && n.TotalArea >= cfg.ReqArea && n.HasCaps(cfg.RequiredCaps) {
+	s := m.soa
+	req, reqOK := s.reqMask(cfg.RequiredCaps)
+	masked := s.maskOK && reqOK
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if masked && sh.mask&req != req {
+			continue
+		}
+		for _, p := range sh.members {
+			if s.flags[p]&soaDown == 0 || s.total[p] < int64(cfg.ReqArea) {
+				continue
+			}
+			if !masked && !m.nodes[p].HasCaps(cfg.RequiredCaps) {
+				continue
+			}
 			return true
 		}
 	}
@@ -602,6 +638,9 @@ func (m *Manager) CheckInvariants() error {
 				return fmt.Errorf("resinfo: entry %v not in any list", e)
 			}
 		}
+	}
+	if err := m.soa.check(m.nodes); err != nil {
+		return err
 	}
 	if m.idx != nil {
 		if err := m.idx.check(); err != nil {

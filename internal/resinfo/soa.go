@@ -1,0 +1,569 @@
+package resinfo
+
+import (
+	"fmt"
+
+	"dreamsim/internal/metrics"
+	"dreamsim/internal/model"
+	"dreamsim/internal/par"
+)
+
+// The SoA (structure-of-arrays) layer: the fields every placement scan
+// filters on — free area, capability mask, blank/partial/busy/down
+// state — live in dense parallel arrays indexed by model.Node.Slot, so
+// the linear scans walk cache-contiguous int64/uint8 arrays instead of
+// chasing *Node pointers and re-deriving State() per visit. On top of
+// the arrays sit capability shards: searches never cross capability
+// masks (a node missing a required capability can never host the
+// configuration), so nodes are partitioned by exact capability mask
+// and each query touches only the shards whose mask covers the
+// configuration's requirement.
+//
+// The layer exists on every manager — it is the linear scan now, with
+// the treap index (index.go) still taking over when FastSearch is live
+// — and reindex keeps it in sync on the same transition tail that
+// syncs the treaps. Each shard carries a version counter bumped on
+// every member transition; the core's speculative batcher uses the
+// counters to prove a decision computed against tick-start state is
+// still valid at commit time (see core/batch.go and DESIGN.md §14).
+//
+// Populations whose capability name space exceeds 64 distinct names
+// cannot be mask-encoded; they degrade to a single shard holding every
+// node, with the per-node string subset test (HasCaps) back in the
+// scan filter — the same fallback rule the treap index applies, with
+// identical results and metering either way.
+
+// Node-state flag bits, mirroring the classifications the placement
+// phases filter on.
+const (
+	soaDown  uint8 = 1 << iota // Node.Down
+	soaBlank                   // Blank() && !Down: a BestBlankNode candidate
+	soaPart                    // PartialMode && !Blank(): a BestPartiallyBlankNode candidate
+	soaBusy                    // State() == StateBusy: an AnyBusyNodeCouldFit candidate
+)
+
+// soaFlagsOf derives a node's flag byte from its live state.
+//
+//lint:metering flag derivation inspects one node during a state transition; the transition's walk is charged by its caller
+func soaFlagsOf(n *model.Node) uint8 {
+	var f uint8
+	blank := len(n.Entries) == 0
+	if n.Down {
+		f |= soaDown
+	}
+	if blank && !n.Down {
+		f |= soaBlank
+	}
+	if n.PartialMode && !blank {
+		f |= soaPart
+	}
+	for _, e := range n.Entries {
+		if e.Task != nil {
+			f |= soaBusy
+			break
+		}
+	}
+	return f
+}
+
+// soaShard is one capability class: the slots of every node sharing
+// one exact capability mask, in ascending slot order (so an in-order
+// walk visits nodes in node-list order and ties resolve to the lower
+// node number without extra work).
+type soaShard struct {
+	mask    uint64
+	members []int32
+	// ver increments on every member state transition; a query result
+	// computed under one version is provably unaffected by later
+	// events iff the versions of every shard its configuration can
+	// reach are unchanged.
+	ver uint64
+}
+
+// soaState is the manager's scan-field block.
+type soaState struct {
+	total   []int64 // Node.TotalArea by slot (static)
+	avail   []int64 // Node.AvailableArea by slot
+	flags   []uint8 // soaDown/soaBlank/soaPart/soaBusy by slot
+	masks   []uint64
+	capBits map[string]uint64
+	maskOK  bool // false: >64 capability names, single-shard fallback
+	shards  []soaShard
+	shardOf []int32
+}
+
+// newSoaState builds the scan block over a fresh population. Both node
+// capabilities and configuration requirements register in the bit
+// assignment, so every well-formed query mask is representable.
+//
+//lint:metering construction-time layout build; the paper meters only the running scheduler
+func newSoaState(nodes []*model.Node, configs []*model.Config) *soaState {
+	s := &soaState{
+		total:   make([]int64, len(nodes)),
+		avail:   make([]int64, len(nodes)),
+		flags:   make([]uint8, len(nodes)),
+		shardOf: make([]int32, len(nodes)),
+	}
+	capLists := make([][]string, 0, len(nodes)+len(configs))
+	for _, n := range nodes {
+		capLists = append(capLists, n.Caps)
+	}
+	for _, cfg := range configs {
+		capLists = append(capLists, cfg.RequiredCaps)
+	}
+	s.capBits, s.maskOK = model.CapBits(capLists...)
+	if s.maskOK {
+		s.masks = make([]uint64, len(nodes))
+		shardIdx := make(map[uint64]int, 8)
+		for i, n := range nodes {
+			mask, _ := model.CapMaskOf(s.capBits, n.Caps)
+			s.masks[i] = mask
+			si, seen := shardIdx[mask]
+			if !seen {
+				si = len(s.shards)
+				shardIdx[mask] = si
+				s.shards = append(s.shards, soaShard{mask: mask})
+			}
+			s.shards[si].members = append(s.shards[si].members, int32(i))
+			s.shardOf[i] = int32(si)
+		}
+	} else {
+		members := make([]int32, len(nodes))
+		for i := range nodes {
+			members[i] = int32(i)
+		}
+		s.shards = []soaShard{{members: members}}
+	}
+	for i, n := range nodes {
+		s.total[i] = int64(n.TotalArea)
+		s.sync(i, n)
+	}
+	return s
+}
+
+// sync refreshes one slot from its node and bumps the shard version.
+func (s *soaState) sync(slot int, n *model.Node) {
+	s.avail[slot] = int64(n.AvailableArea)
+	s.flags[slot] = soaFlagsOf(n)
+	s.shards[s.shardOf[slot]].ver++
+}
+
+// reqMask folds a required-capability list into its query mask. A
+// false second result under maskOK means a capability no node (and no
+// registered configuration) declares — nothing can host it.
+func (s *soaState) reqMask(caps []string) (uint64, bool) {
+	if !s.maskOK {
+		return 0, false
+	}
+	return model.CapMaskOf(s.capBits, caps)
+}
+
+// check validates the scan block against live node state.
+//
+//lint:metering debug validator; its walks are host-side checking, not simulated scheduler work
+func (s *soaState) check(nodes []*model.Node) error {
+	for i, n := range nodes {
+		if n.Slot != i {
+			return fmt.Errorf("resinfo: node %d carries slot %d, expected %d", n.No, n.Slot, i)
+		}
+		if s.total[i] != int64(n.TotalArea) || s.avail[i] != int64(n.AvailableArea) {
+			return fmt.Errorf("resinfo: SoA areas of node %d stale: total %d/%d, avail %d/%d",
+				n.No, s.total[i], n.TotalArea, s.avail[i], n.AvailableArea)
+		}
+		if want := soaFlagsOf(n); s.flags[i] != want {
+			return fmt.Errorf("resinfo: SoA flags of node %d stale: %04b, expected %04b", n.No, s.flags[i], want)
+		}
+		if s.maskOK {
+			mask, ok := model.CapMaskOf(s.capBits, n.Caps)
+			if !ok || s.masks[i] != mask {
+				return fmt.Errorf("resinfo: SoA capability mask of node %d stale", n.No)
+			}
+			if s.shards[s.shardOf[i]].mask != mask {
+				return fmt.Errorf("resinfo: node %d sharded under mask %x, carries %x",
+					n.No, s.shards[s.shardOf[i]].mask, mask)
+			}
+		}
+	}
+	seen := 0
+	for si := range s.shards {
+		prev := int32(-1)
+		for _, p := range s.shards[si].members {
+			if p <= prev {
+				return fmt.Errorf("resinfo: shard %d members out of order", si)
+			}
+			if s.shardOf[p] != int32(si) {
+				return fmt.Errorf("resinfo: slot %d listed in shard %d but assigned %d", p, si, s.shardOf[p])
+			}
+			prev = p
+			seen++
+		}
+	}
+	if seen != len(nodes) {
+		return fmt.Errorf("resinfo: shards hold %d slots, population has %d", seen, len(nodes))
+	}
+	return nil
+}
+
+// parSpanMin is the member count below which dispatching a scan to the
+// worker pool costs more than the scan; it also gates pool creation on
+// the population size. Small sweep-grid cells (50–150 nodes) never
+// touch the pool. Var, not const, so tests can force the parallel
+// kernels on small populations.
+var parSpanMin = 2048
+
+// parScan holds the parallel scan kernels plus their per-worker result
+// slots, allocated once per manager so a dispatch allocates nothing.
+// Result slots are stride-8 padded (one cache line apart) so workers
+// do not false-share.
+type parScan struct {
+	workers int
+	best    bestKernel
+	fit     fitKernel
+	bestKey []int64
+	bestPos []int64
+	fitPos  []int64
+}
+
+func newParScan(workers int) *parScan {
+	return &parScan{
+		workers: workers,
+		bestKey: make([]int64, workers*8),
+		bestPos: make([]int64, workers*8),
+		fitPos:  make([]int64, workers*8),
+	}
+}
+
+// bestKernel is the argmin scan: over one shard's members, find the
+// minimum key (TotalArea for blank placement, AvailableArea for
+// partial placement) among nodes matching the flag filter with
+// sufficient area, ties to the lower slot. Chunks reduce into
+// per-worker slots; the caller's final reduction over the fixed worker
+// order is schedule-independent, so the result is deterministic no
+// matter how the OS interleaves the workers.
+type bestKernel struct {
+	key     []int64
+	flags   []uint8
+	want    uint8
+	reqArea int64
+	members []int32
+	// Fallback filter for the >64-capability single-shard degrade.
+	useCaps bool
+	nodes   []*model.Node
+	caps    []string
+	// Result slots, stride 8: outKey[w*8], outPos[w*8] (-1 = none).
+	outKey []int64
+	outPos []int64
+}
+
+//dreamsim:noalloc
+func (k *bestKernel) RunChunk(w, lo, hi int) {
+	bestPos := int64(-1)
+	var bestKey int64
+	for _, p := range k.members[lo:hi] {
+		if k.flags[p]&k.want == 0 {
+			continue
+		}
+		a := k.key[p]
+		if a < k.reqArea {
+			continue
+		}
+		if k.useCaps && !k.nodes[p].HasCaps(k.caps) {
+			continue
+		}
+		if bestPos < 0 || a < bestKey {
+			bestKey, bestPos = a, int64(p)
+		}
+	}
+	k.outKey[w*8], k.outPos[w*8] = bestKey, bestPos
+}
+
+// fitKernel finds the minimum slot matching the flag filter whose
+// TotalArea fits the requirement — the busy-fit existence probe, whose
+// linear charge is that slot's position + 1. Members ascend, so the
+// first match in a chunk is the chunk's minimum.
+type fitKernel struct {
+	flags   []uint8
+	want    uint8
+	total   []int64
+	reqArea int64
+	members []int32
+	useCaps bool
+	nodes   []*model.Node
+	caps    []string
+	outPos  []int64
+}
+
+//dreamsim:noalloc
+func (k *fitKernel) RunChunk(w, lo, hi int) {
+	pos := int64(-1)
+	for _, p := range k.members[lo:hi] {
+		if k.flags[p]&k.want == 0 || k.total[p] < k.reqArea {
+			continue
+		}
+		if k.useCaps && !k.nodes[p].HasCaps(k.caps) {
+			continue
+		}
+		pos = int64(p)
+		break
+	}
+	k.outPos[w*8] = pos
+}
+
+// shardBest runs the argmin scan over one shard, on the pool when the
+// shard is large enough and the manager owns one, sequentially (same
+// kernel, one chunk) otherwise. Returns the best (key, slot), slot -1
+// when the shard holds no candidate.
+//
+//dreamsim:noalloc
+func (m *Manager) shardBest(sh *soaShard, want uint8, key []int64, reqArea int64, caps []string, useCaps bool) (int64, int64) {
+	s := m.soa
+	if m.pool != nil && len(sh.members) >= parSpanMin {
+		k := &m.pj.best
+		*k = bestKernel{
+			key: key, flags: s.flags, want: want, reqArea: reqArea, members: sh.members,
+			useCaps: useCaps, nodes: m.nodes, caps: caps,
+			outKey: m.pj.bestKey, outPos: m.pj.bestPos,
+		}
+		m.pool.Run(k, len(sh.members))
+		bestPos := int64(-1)
+		var bestKey int64
+		for w, used := 0, m.pool.Chunks(len(sh.members)); w < used; w++ {
+			p := m.pj.bestPos[w*8]
+			if p < 0 {
+				continue
+			}
+			a := m.pj.bestKey[w*8]
+			if bestPos < 0 || a < bestKey || (a == bestKey && p < bestPos) {
+				bestKey, bestPos = a, p
+			}
+		}
+		return bestKey, bestPos
+	}
+	bestPos := int64(-1)
+	var bestKey int64
+	for _, p := range sh.members {
+		if s.flags[p]&want == 0 {
+			continue
+		}
+		a := key[p]
+		if a < reqArea {
+			continue
+		}
+		if useCaps && !m.nodes[p].HasCaps(caps) {
+			continue
+		}
+		if bestPos < 0 || a < bestKey {
+			bestKey, bestPos = a, int64(p)
+		}
+	}
+	return bestKey, bestPos
+}
+
+// scanBest is the sharded argmin search behind BestBlankNode (want =
+// soaBlank, key = TotalArea) and BestPartiallyBlankNode (want =
+// soaPart, key = AvailableArea). It reduces shard results by
+// (key, slot) with ties to the lower slot — exactly the node the flat
+// strict-< walk in node order would keep. The caller charges the walk.
+//
+//dreamsim:noalloc
+func (m *Manager) scanBest(cfg *model.Config, want uint8, key []int64) *model.Node {
+	s := m.soa
+	// masked: the requirement is representable, so incompatible shards
+	// are skipped wholesale and the mask test replaces HasCaps. An
+	// unrepresentable requirement (>64-name population, or a query
+	// capability the build never registered) degrades to the per-node
+	// string test over every shard — the flat paper scan.
+	req, reqOK := s.reqMask(cfg.RequiredCaps)
+	masked := s.maskOK && reqOK
+	bestPos := int64(-1)
+	var bestKey int64
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if masked && sh.mask&req != req {
+			continue
+		}
+		a, p := m.shardBest(sh, want, key, int64(cfg.ReqArea), cfg.RequiredCaps, !masked)
+		if p >= 0 && (bestPos < 0 || a < bestKey || (a == bestKey && p < bestPos)) {
+			bestKey, bestPos = a, p
+		}
+	}
+	if bestPos < 0 {
+		return nil
+	}
+	return m.nodes[bestPos]
+}
+
+// scanFirstFit returns the lowest slot matching want with TotalArea ≥
+// the requirement across the compatible shards, or -1 — the sharded
+// form of the early-exit busy walk, whose charge is slot + 1.
+//
+//dreamsim:noalloc
+func (m *Manager) scanFirstFit(cfg *model.Config, want uint8) int64 {
+	s := m.soa
+	req, reqOK := s.reqMask(cfg.RequiredCaps)
+	masked := s.maskOK && reqOK
+	best := int64(-1)
+	for si := range s.shards {
+		sh := &s.shards[si]
+		if masked && sh.mask&req != req {
+			continue
+		}
+		var pos int64
+		if m.pool != nil && len(sh.members) >= parSpanMin {
+			k := &m.pj.fit
+			*k = fitKernel{
+				flags: s.flags, want: want, total: s.total, reqArea: int64(cfg.ReqArea),
+				members: sh.members, useCaps: !masked, nodes: m.nodes, caps: cfg.RequiredCaps,
+				outPos: m.pj.fitPos,
+			}
+			m.pool.Run(k, len(sh.members))
+			pos = -1
+			for w, used := 0, m.pool.Chunks(len(sh.members)); w < used; w++ {
+				if p := m.pj.fitPos[w*8]; p >= 0 && (pos < 0 || p < pos) {
+					pos = p
+				}
+			}
+		} else {
+			pos = -1
+			useCaps := !masked
+			for _, p := range sh.members {
+				if s.flags[p]&want == 0 || s.total[p] < int64(cfg.ReqArea) {
+					continue
+				}
+				if useCaps && !m.nodes[p].HasCaps(cfg.RequiredCaps) {
+					continue
+				}
+				pos = int64(p)
+				break
+			}
+		}
+		if pos >= 0 && (best < 0 || pos < best) {
+			best = pos
+		}
+	}
+	return best
+}
+
+// Shadow returns a search-only view of the manager for concurrent
+// speculative decisions: it shares the node/configuration population,
+// the idle/busy lists, the SoA block and the treap index (all of which
+// only the live manager mutates, between speculation rounds), but owns
+// private counters and scratch so concurrent searches on different
+// shadows never write shared state. Shadows must never be passed to a
+// mutating method (Configure, StartTask, ...) — reindex asserts this
+// under -tags invariants — and their reads are only coherent while the
+// live manager is quiescent. Refresh with SyncShadow before each
+// speculation round.
+func (m *Manager) Shadow() *Manager {
+	s := &Manager{}
+	m.SyncShadow(s)
+	return s
+}
+
+// SyncShadow re-copies the live manager's scalar state (down-node
+// count, index pointers) into a shadow while preserving the shadow's
+// private counters and scratch buffers.
+func (m *Manager) SyncShadow(s *Manager) {
+	c, evict := s.c, s.evict
+	*s = *m
+	if c == nil {
+		c = &metrics.Counters{}
+	}
+	s.c = c
+	s.evict = evict
+	s.entryFree = nil
+	s.pool = nil // shadows scan sequentially; parallelism comes from concurrent shadows
+	s.pj = nil
+	s.shadow = true
+}
+
+// TakeCharges drains the counters a shadow's searches accumulated —
+// the metered steps a live decision would have charged — returning
+// them for deferred commit against the real counters.
+func (m *Manager) TakeCharges() (search, housekeep uint64) {
+	search, housekeep = m.c.SchedulerSearch, m.c.HousekeepingSteps
+	m.c.SchedulerSearch, m.c.HousekeepingSteps = 0, 0
+	return search, housekeep
+}
+
+// ShardVersions appends the current shard version vector into dst
+// (reused; pass the previous round's slice to avoid allocation).
+func (m *Manager) ShardVersions(dst []uint64) []uint64 {
+	dst = dst[:0]
+	for i := range m.soa.shards {
+		dst = append(dst, m.soa.shards[i].ver)
+	}
+	return dst
+}
+
+// ShardsUnchangedFor reports whether every shard a configuration's
+// search can reach still carries the version captured in snap. All
+// placement reads and all metered charges of a decision for cfg are
+// functions of compatible-shard state plus static data (regions only
+// ever live on capability-compatible nodes, and the flat charges are
+// population constants), so an unchanged vector proves a speculative
+// decision for cfg — result and charges — equals the live one.
+// Incompatible-shard transitions are invisible to the decision and do
+// not invalidate. A nil cfg (unresolvable preferred+closest
+// configuration) reads only the static configuration list: always
+// valid.
+func (m *Manager) ShardsUnchangedFor(cfg *model.Config, snap []uint64) bool {
+	s := m.soa
+	if len(snap) != len(s.shards) {
+		return false
+	}
+	if cfg == nil {
+		return true
+	}
+	req, reqOK := s.reqMask(cfg.RequiredCaps)
+	if !s.maskOK || !reqOK {
+		// Unrepresentable requirement: the search degrades to a flat
+		// HasCaps scan over every shard, so every shard is reachable.
+		for i := range s.shards {
+			if s.shards[i].ver != snap[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range s.shards {
+		if s.shards[i].mask&req == req && s.shards[i].ver != snap[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardCount reports the number of capability classes (1 when the
+// population degraded to the flat fallback).
+func (m *Manager) ShardCount() int { return len(m.soa.shards) }
+
+// IntraParallel reports the scan pool width (1 = sequential scans).
+func (m *Manager) IntraParallel() int {
+	if m.pool == nil {
+		return 1
+	}
+	return m.pool.Workers()
+}
+
+// ClosePool stops the scan worker pool early (it is otherwise
+// finalized when the manager becomes unreachable). The manager falls
+// back to sequential scans afterwards; results are identical.
+func (m *Manager) ClosePool() {
+	if m.pool != nil {
+		m.pool.Close()
+		m.pool = nil
+		m.pj = nil
+	}
+}
+
+// initPool builds the scan worker pool when intra-run parallelism is
+// requested and the population is large enough for a dispatch to pay.
+func (m *Manager) initPool() {
+	if m.ipar > 1 && len(m.nodes) >= parSpanMin {
+		if p := par.NewPool(m.ipar); p != nil {
+			m.pool = p
+			m.pj = newParScan(p.Workers())
+		}
+	}
+}
